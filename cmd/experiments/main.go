@@ -1,0 +1,85 @@
+// Command experiments regenerates the paper's evaluation figures (§IV,
+// Figs. 1–6) on the synthetic 45-port PDN testcase, plus the extension
+// experiments Ext-A..Ext-D (representation independence, transient
+// verification, MOR baseline, enforcement ablation), printing the shape
+// metrics recorded in EXPERIMENTS.md and writing one CSV per figure.
+//
+// Usage:
+//
+//	experiments [-fig all|figs|ext|1|..|6|A|..|D] [-out dir] [-points N] [-poles N] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "what to regenerate: all, figs, ext, 1..6, or A..D")
+	out := flag.String("out", "results", "output directory for CSV series (empty = no files)")
+	points := flag.Int("points", 0, "frequency points (default per profile)")
+	poles := flag.Int("poles", 0, "model order n (default 12)")
+	quick := flag.Bool("quick", false, "use the reduced-cost profile")
+	flag.Parse()
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	if *points > 0 {
+		cfg.Points = *points
+	}
+	if *poles > 0 {
+		cfg.Poles = *poles
+	}
+	ctx := experiments.NewContext(cfg)
+
+	run := map[string]func() (*experiments.FigResult, error){
+		"1": ctx.Fig1, "2": ctx.Fig2, "3": ctx.Fig3,
+		"4": ctx.Fig4, "5": ctx.Fig5, "6": ctx.Fig6,
+		"A": ctx.ExtA, "B": ctx.ExtB, "C": ctx.ExtC, "D": ctx.ExtD,
+	}
+	figOrder := []string{"1", "2", "3", "4", "5", "6"}
+	extOrder := []string{"A", "B", "C", "D"}
+
+	var keys []string
+	switch strings.ToLower(*fig) {
+	case "all":
+		keys = append(append(keys, figOrder...), extOrder...)
+	case "figs":
+		keys = figOrder
+	case "ext":
+		keys = extOrder
+	default:
+		k := strings.ToUpper(*fig)
+		if _, ok := run[k]; !ok {
+			fmt.Fprintf(os.Stderr, "experiments: bad -fig %q (want all, figs, ext, 1..6 or A..D)\n", *fig)
+			os.Exit(2)
+		}
+		keys = []string{k}
+	}
+
+	t0 := time.Now()
+	for _, k := range keys {
+		t1 := time.Now()
+		res, err := run[k]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", k, err)
+			os.Exit(1)
+		}
+		fmt.Print(res.Summary())
+		if *out != "" {
+			if err := res.WriteCSV(*out); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: writing CSV: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("  (%.1fs)\n\n", time.Since(t1).Seconds())
+	}
+	fmt.Printf("total %.1fs; CSV series in %s\n", time.Since(t0).Seconds(), *out)
+}

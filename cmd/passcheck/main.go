@@ -1,0 +1,112 @@
+// Command passcheck assesses the passivity of tabulated scattering data
+// (Touchstone .sNp) or of a fitted macromodel (JSON produced by the
+// library), reports violations, and optionally fits + enforces in one shot.
+//
+// Usage:
+//
+//	passcheck [-ports N] [-fit n] [-enforce] [-save out.json] input.s4p
+//	passcheck -model model.json [-enforce] [-save out.json]
+//
+// Exit status: 0 when the final artifact is passive, 1 when not, 2 on
+// usage or I/O errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	repro "repro"
+)
+
+func fail(code int, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "passcheck: "+format+"\n", args...)
+	os.Exit(code)
+}
+
+func main() {
+	ports := flag.Int("ports", 0, "port count when not parsable from the extension")
+	modelPath := flag.String("model", "", "check a saved macromodel (JSON) instead of raw data")
+	fit := flag.Int("fit", 0, "fit a macromodel with this many poles before checking")
+	enforce := flag.Bool("enforce", false, "enforce passivity on the (fitted or loaded) model")
+	save := flag.String("save", "", "save the final model as JSON")
+	sweep := flag.Int("sweep", 1200, "sweep grid points for the model check")
+	flag.Parse()
+
+	var model *repro.Macromodel
+	switch {
+	case *modelPath != "":
+		var err error
+		model, err = repro.LoadMacromodel(*modelPath)
+		if err != nil {
+			fail(2, "loading model: %v", err)
+		}
+		fmt.Printf("model: %d ports, %d poles, R0 = %g Ω\n", model.Ports(), model.NumPoles(), model.R0())
+	case flag.NArg() == 1:
+		data, err := repro.ReadTouchstone(flag.Arg(0), *ports)
+		if err != nil {
+			fail(2, "reading %s: %v", flag.Arg(0), err)
+		}
+		fmt.Printf("data: %d ports, %d samples, R0 = %g Ω\n", data.Ports(), data.Points(), data.R0)
+		worst, at := 0.0, 0.0
+		for k, s := range data.MaxSingularValues() {
+			if s > worst {
+				worst, at = s, data.Freq[k]
+			}
+		}
+		fmt.Printf("data passivity: σmax = %.6f at %.4g Hz", worst, at)
+		if worst > 1+1e-9 {
+			fmt.Println("  ** data itself is non-passive **")
+		} else {
+			fmt.Println("  (samples passive)")
+		}
+		if *fit <= 0 {
+			if worst > 1+1e-9 {
+				os.Exit(1)
+			}
+			return
+		}
+		model, _, err = repro.Fit(data, repro.FitOptions{NumPoles: *fit, ConstrainD: 0.999})
+		if err != nil {
+			fail(2, "fit: %v", err)
+		}
+		fmt.Printf("fitted %d poles, RMS error %.3g\n", *fit, model.RMSError(data))
+	default:
+		fail(2, "need exactly one Touchstone file or -model (got %d args)", flag.NArg())
+	}
+
+	chkOpts := repro.CheckOptions{SweepPoints: *sweep}
+	rep, err := repro.CheckPassivity(model, chkOpts)
+	if err != nil {
+		fail(2, "check: %v", err)
+	}
+	printReport(rep)
+
+	if !rep.Passive && *enforce {
+		enf, err := repro.EnforcePassivity(model, repro.EnforceOptions{Check: chkOpts, ClampD: true})
+		if err != nil {
+			fail(2, "enforce: %v", err)
+		}
+		fmt.Printf("enforced in %d iterations (D clamped: %v)\n", enf.Iterations, enf.DClamped)
+		rep = enf.Final
+		printReport(rep)
+	}
+	if *save != "" && model != nil {
+		if err := model.SaveFile(*save); err != nil {
+			fail(2, "saving: %v", err)
+		}
+		fmt.Printf("saved model to %s\n", *save)
+	}
+	if !rep.Passive {
+		os.Exit(1)
+	}
+}
+
+func printReport(rep *repro.PassivityReport) {
+	fmt.Printf("model passivity [%s]: passive=%v σmax=%.6f at %.4g Hz, σmax(D)=%.6f\n",
+		rep.Method, rep.Passive, rep.MaxSigma, rep.MaxFreqHz, rep.DSigma)
+	for i, v := range rep.Violations {
+		fmt.Printf("  violation %d: σ=%.6f at %.4g Hz, band [%.4g, %.4g] Hz\n",
+			i+1, v.SigmaPeak, v.FreqPeakHz, v.FreqLoHz, v.FreqHiHz)
+	}
+}

@@ -1,0 +1,61 @@
+// Command synthgen emits a synthetic PDN as a Touchstone file plus a JSON
+// description of its nominal termination network, so the data can be fed
+// to external tools (or back into pdnflow).
+//
+// Usage:
+//
+//	synthgen -preset paper45 -points 301 -out pdn.s45p -loads loads.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	repro "repro"
+)
+
+type loadJSON struct {
+	Port int     `json:"port"`
+	Role string  `json:"role"`
+	J    float64 `json:"excitation_amps"`
+}
+
+func main() {
+	preset := flag.String("preset", "small", "paper45 or small")
+	points := flag.Int("points", 201, "log frequency points (plus DC)")
+	out := flag.String("out", "", "output Touchstone path (default pdn.sNp)")
+	loads := flag.String("loads", "loads.json", "termination description output")
+	flag.Parse()
+
+	p := repro.PDNSmall
+	if strings.EqualFold(*preset, "paper45") {
+		p = repro.PDNPaper45
+	}
+	freqs := repro.LogFreqGrid(1e3, 2e9, *points, true)
+	syn, err := repro.GeneratePDN(p, freqs, 50)
+	fatal(err)
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("pdn.s%dp", syn.Data.Ports())
+	}
+	fatal(repro.WriteTouchstone(path, syn.Data))
+
+	var desc []loadJSON
+	for i, role := range syn.Roles {
+		desc = append(desc, loadJSON{Port: i, Role: role, J: real(syn.Load.J[i])})
+	}
+	blob, err := json.MarshalIndent(desc, "", " ")
+	fatal(err)
+	fatal(os.WriteFile(*loads, blob, 0o644))
+	fmt.Printf("wrote %s (%d ports, %d points) and %s\n", path, syn.Data.Ports(), syn.Data.Points(), *loads)
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "synthgen:", err)
+		os.Exit(1)
+	}
+}

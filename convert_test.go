@@ -1,0 +1,137 @@
+package repro_test
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	repro "repro"
+)
+
+// smallPDN generates the 8-port synthetic dataset shared by the root-level
+// conversion tests.
+func smallPDN(t *testing.T) *repro.SyntheticPDN {
+	t.Helper()
+	freqs := repro.LogFreqGrid(1e3, 2e9, 40, false)
+	syn, err := repro.GeneratePDN(repro.PDNSmall, freqs, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return syn
+}
+
+func TestSDataImpedanceRoundTrip(t *testing.T) {
+	syn := smallPDN(t)
+	z, err := syn.Data.Impedance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := repro.SDataFromImpedance(syn.Data.Freq, z, syn.Data.R0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range syn.Data.Freq {
+		for i := 0; i < syn.Data.Ports(); i++ {
+			for j := 0; j < syn.Data.Ports(); j++ {
+				d := cmplx.Abs(back.At(k, i, j) - syn.Data.At(k, i, j))
+				if d > 1e-8 {
+					t.Fatalf("S→Z→S mismatch at k=%d (%d,%d): %g", k, i, j, d)
+				}
+			}
+		}
+	}
+}
+
+func TestSDataAdmittanceRoundTrip(t *testing.T) {
+	syn := smallPDN(t)
+	y, err := syn.Data.Admittance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := repro.SDataFromAdmittance(syn.Data.Freq, y, syn.Data.R0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range syn.Data.Freq {
+		for i := 0; i < syn.Data.Ports(); i++ {
+			for j := 0; j < syn.Data.Ports(); j++ {
+				d := cmplx.Abs(back.At(k, i, j) - syn.Data.At(k, i, j))
+				if d > 1e-8 {
+					t.Fatalf("S→Y→S mismatch at k=%d (%d,%d): %g", k, i, j, d)
+				}
+			}
+		}
+	}
+}
+
+func TestRenormalizedPreservesTargetImpedance(t *testing.T) {
+	// Z_PDN is a physical quantity: it must not depend on the scattering
+	// reference resistance of the data representation.
+	syn := smallPDN(t)
+	z50, err := repro.TargetImpedance(syn.Data, syn.Load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r1 := range []float64{10, 50, 130} {
+		ren, err := syn.Data.Renormalized(r1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ren.R0 != r1 {
+			t.Fatalf("renormalized R0 = %v want %v", ren.R0, r1)
+		}
+		zr, err := repro.TargetImpedance(ren, syn.Load)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range z50 {
+			scale := 1 + cmplx.Abs(z50[k])
+			if cmplx.Abs(zr[k]-z50[k]) > 1e-7*scale {
+				t.Fatalf("r1=%g: Z_PDN differs at sample %d: %v vs %v", r1, k, zr[k], z50[k])
+			}
+		}
+	}
+}
+
+func TestRenormalizedPreservesSensitivityShape(t *testing.T) {
+	// The sensitivity magnitude depends on the representation (it weights
+	// perturbations of the representation's entries), but it must remain
+	// finite and positive after renormalization, and the renormalized
+	// dataset must still be passive.
+	syn := smallPDN(t)
+	ren, err := syn.Data.Renormalized(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, sig := range ren.MaxSingularValues() {
+		if sig > 1+1e-8 {
+			t.Fatalf("renormalized data not passive at sample %d: σmax=%v", k, sig)
+		}
+	}
+	xi, err := repro.Sensitivity(ren, syn.Load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range xi {
+		if !(v > 0) || math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Fatalf("sensitivity of renormalized data invalid at %d: %v", k, v)
+		}
+	}
+}
+
+func TestConversionErrorsSurface(t *testing.T) {
+	// Zero-length data must be rejected everywhere.
+	var empty repro.SData
+	if _, err := empty.Impedance(); err == nil {
+		t.Fatal("Impedance on empty data should fail")
+	}
+	if _, err := empty.Admittance(); err == nil {
+		t.Fatal("Admittance on empty data should fail")
+	}
+	if _, err := empty.Renormalized(50); err == nil {
+		t.Fatal("Renormalized on empty data should fail")
+	}
+	if _, err := repro.SDataFromImpedance([]float64{1}, nil, 50); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+}

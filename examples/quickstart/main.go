@@ -1,0 +1,57 @@
+// Quickstart: extract a passive, sensitivity-weighted macromodel from a
+// small synthetic PDN in one call and verify it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/cmplx"
+
+	repro "repro"
+)
+
+func main() {
+	// 1. Scattering data: an 8-port board/package/die PDN swept from
+	//    1 kHz to 2 GHz (plus DC), with its nominal termination network
+	//    (die RC blocks, decaps, shorted VRM).
+	freqs := repro.LogFreqGrid(1e3, 2e9, 150, true)
+	syn, err := repro.GeneratePDN(repro.PDNSmall, freqs, 50)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("data: %d ports, %d points\n", syn.Data.Ports(), syn.Data.Points())
+
+	// 2. One-call flow: sensitivity-weighted fit + weighted passivity
+	//    enforcement (the paper's complete method).
+	res, err := repro.Extract(syn.Data, syn.Load, repro.ExtractOptions{NumPoles: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fit RMS: %.3g\n", res.Fit.RMSErr)
+	if res.Enforcement != nil {
+		fmt.Printf("made passive in %d iterations\n", res.Enforcement.Iterations)
+	}
+
+	// 3. Verify: the model must be passive and reproduce the loaded
+	//    target impedance.
+	chk, err := repro.CheckPassivity(res.Model, repro.CheckOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("passive: %v (σmax = %.6f)\n", chk.Passive, chk.MaxSigma)
+
+	zref, _ := repro.TargetImpedance(syn.Data, syn.Load)
+	zmod, _ := repro.TargetImpedanceModel(res.Model, freqs, syn.Load)
+	fmt.Printf("Z_PDN at 1 kHz: nominal %.4g Ω, model %.4g Ω\n",
+		abs(zref[1]), abs(zmod[1]))
+
+	// 4. Persist for reuse.
+	if err := res.Model.SaveFile("quickstart_model.json"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("model saved to quickstart_model.json")
+}
+
+func abs(z complex128) float64 {
+	return cmplx.Abs(z)
+}

@@ -1,0 +1,71 @@
+// This example exercises the data-interchange path: generate a synthetic
+// PDN, export it as a Touchstone .sNp file, read it back, fit a macromodel
+// from the file, and save/load the model as JSON — the round trips a
+// downstream user relies on.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/cmplx"
+	"os"
+	"path/filepath"
+
+	repro "repro"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "touchstone-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	freqs := repro.LogFreqGrid(1e3, 2e9, 120, true)
+	syn, err := repro.GeneratePDN(repro.PDNSmall, freqs, 50)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ports := syn.Data.Ports()
+
+	// Write + read back the Touchstone file.
+	tsPath := filepath.Join(dir, fmt.Sprintf("pdn.s%dp", ports))
+	if err := repro.WriteTouchstone(tsPath, syn.Data); err != nil {
+		log.Fatal(err)
+	}
+	back, err := repro.ReadTouchstone(tsPath, 0) // port count from extension
+	if err != nil {
+		log.Fatal(err)
+	}
+	worst := 0.0
+	for k := range back.S {
+		for i := range back.S[k].Data {
+			if d := cmplx.Abs(back.S[k].Data[i] - syn.Data.S[k].Data[i]); d > worst {
+				worst = d
+			}
+		}
+	}
+	fmt.Printf("touchstone round trip: %d ports, %d points, worst entry error %.2g\n",
+		back.Ports(), back.Points(), worst)
+
+	// Fit from the file-based data and persist the model.
+	model, rep, err := repro.Fit(back, repro.FitOptions{NumPoles: 10, Iterations: 8, ConstrainD: 0.999})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fit from file: RMS %.3g\n", rep.RMSErr)
+
+	mPath := filepath.Join(dir, "model.json")
+	if err := model.SaveFile(mPath); err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := repro.LoadMacromodel(mPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f0 := 3.3e7
+	a := model.EvalEntry(0, 1, f0)
+	b := loaded.EvalEntry(0, 1, f0)
+	fmt.Printf("JSON round trip: S01(%.2g Hz) = %v vs %v (diff %.2g)\n",
+		f0, a, b, cmplx.Abs(a-b))
+}

@@ -1,0 +1,108 @@
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/vecfit"
+)
+
+// FitOptions configures rational macromodel identification.
+type FitOptions struct {
+	// NumPoles is the model order n (the paper's testcase uses 12).
+	NumPoles int
+	// Iterations bounds the Vector Fitting pole-relocation sweeps
+	// (default 10).
+	Iterations int
+	// Weights gives one least-squares weight per frequency sample — the
+	// sensitivity weighting w_k = Ξ_k of the paper's eq. (6). Nil fits the
+	// plain metric (4).
+	Weights []float64
+	// Unrelaxed disables the relaxed nontriviality constraint.
+	Unrelaxed bool
+	// SkipD omits the direct-coupling constant.
+	SkipD bool
+	// ConstrainD caps σmax(D) at this value when positive (0.999 keeps the
+	// model asymptotically passive); see EnforceOptions.ClampD for the
+	// post-hoc alternative.
+	ConstrainD float64
+}
+
+// FitReport summarizes a fit.
+type FitReport struct {
+	Iterations int
+	RMSErr     float64 // weighted RMS error over all entries/samples
+	MaxAbsErr  float64
+}
+
+// RefineReport records the iterative reweighting of FitWithRefinement.
+type RefineReport struct {
+	// WorstRelErr is the worst relative Z_PDN error after each round
+	// (index 0 = plain first-order sensitivity weights).
+	WorstRelErr []float64
+	// BestRound indexes the round that produced the returned model.
+	BestRound int
+	// Weights are the final per-frequency weights, reusable in
+	// FitOptions.Weights.
+	Weights []float64
+}
+
+// FitWithRefinement runs the iterative reweighting process of the paper's
+// reference [23]: a sensitivity-weighted fit whose weights are then
+// re-tuned from the realized loaded-domain error over a few refit rounds
+// (default 3 when rounds ≤ 0). The best model across rounds is returned —
+// refinement can only improve on the plain sensitivity weighting.
+func FitWithRefinement(data *SData, load *Load, opts FitOptions, rounds int) (*Macromodel, *RefineReport, error) {
+	if err := data.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if err := load.Validate(data.Ports()); err != nil {
+		return nil, nil, err
+	}
+	if opts.NumPoles <= 0 {
+		return nil, nil, fmt.Errorf("repro: NumPoles must be positive")
+	}
+	model, rep, err := core.FitRefined(data.Omega(), data.S, data.R0, load, core.RefineOptions{
+		Rounds: rounds,
+		Fit: vecfit.Options{
+			NumPoles:   opts.NumPoles,
+			Iterations: opts.Iterations,
+			Unrelaxed:  opts.Unrelaxed,
+			SkipD:      opts.SkipD,
+			ConstrainD: opts.ConstrainD,
+		},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Macromodel{model: model, r0: data.R0}, &RefineReport{
+		WorstRelErr: rep.WorstRelErr,
+		BestRound:   rep.BestRound,
+		Weights:     rep.Weights,
+	}, nil
+}
+
+// Fit identifies a stable common-pole rational macromodel from scattering
+// data by (optionally weighted, relaxed) Vector Fitting.
+func Fit(data *SData, opts FitOptions) (*Macromodel, *FitReport, error) {
+	if err := data.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if opts.NumPoles <= 0 {
+		return nil, nil, fmt.Errorf("repro: NumPoles must be positive")
+	}
+	model, rep, err := vecfit.Fit(data.Omega(), data.S, vecfit.Options{
+		NumPoles:   opts.NumPoles,
+		Iterations: opts.Iterations,
+		Weights:    opts.Weights,
+		Unrelaxed:  opts.Unrelaxed,
+		SkipD:      opts.SkipD,
+		ConstrainD: opts.ConstrainD,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Macromodel{model: model, r0: data.R0},
+		&FitReport{Iterations: rep.Iterations, RMSErr: rep.RMSErr, MaxAbsErr: rep.MaxAbsErr},
+		nil
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/pdn"
+	"repro/internal/synthpdn"
+	"repro/internal/vecfit"
+)
+
+func smallPDNData(t *testing.T) ([]float64, *synthpdn.PDN, *pdn.Load, []float64) {
+	t.Helper()
+	p, err := synthpdn.Build(synthpdn.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var freqs []float64
+	freqs = append(freqs, 0)
+	n := 50
+	for i := 0; i < n; i++ {
+		f := 1e3 * math.Pow(2e9/1e3, float64(i)/float64(n-1))
+		freqs = append(freqs, f)
+	}
+	omega := make([]float64, len(freqs))
+	for i, f := range freqs {
+		omega[i] = 2 * math.Pi * f
+	}
+	return omega, p, p.NominalLoad(), freqs
+}
+
+func TestFitRefinedNeverWorseThanRoundZero(t *testing.T) {
+	omega, p, load, freqs := smallPDNData(t)
+	samples, err := p.Circuit.SweepS(freqs, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, rep, err := FitRefined(omega, samples, 50, load, RefineOptions{
+		Rounds: 2,
+		Fit:    vecfit.Options{NumPoles: 8, Iterations: 5, ConstrainD: 0.999},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model == nil {
+		t.Fatal("no model returned")
+	}
+	if len(rep.WorstRelErr) != 3 {
+		t.Fatalf("expected 3 recorded rounds, got %d", len(rep.WorstRelErr))
+	}
+	best := rep.WorstRelErr[rep.BestRound]
+	for r, e := range rep.WorstRelErr {
+		if e < best-1e-12 {
+			t.Fatalf("round %d error %v beats recorded best %v", r, e, best)
+		}
+	}
+	if best > rep.WorstRelErr[0]+1e-12 {
+		t.Fatalf("refinement must not be worse than the plain weights: %v vs %v", best, rep.WorstRelErr[0])
+	}
+	if len(rep.Weights) != len(omega) {
+		t.Fatalf("weights length %d want %d", len(rep.Weights), len(omega))
+	}
+	for _, w := range rep.Weights {
+		if !(w > 0) {
+			t.Fatalf("nonpositive refined weight %v", w)
+		}
+	}
+}
+
+func TestBoostWeightsClipsAndScales(t *testing.T) {
+	w := []float64{1, 1, 1, 1}
+	e := []float64{1e-6, 1, 1, 1e6}
+	out := boostWeights(w, e, RefineOptions{Exponent: 1, MaxBoost: 2})
+	if out[0] != 0.5 {
+		t.Fatalf("low-error weight should clip to 1/MaxBoost, got %v", out[0])
+	}
+	if out[3] != 2 {
+		t.Fatalf("high-error weight should clip to MaxBoost, got %v", out[3])
+	}
+	if out[1] <= 0 || out[2] <= 0 {
+		t.Fatal("boosted weights must stay positive")
+	}
+}

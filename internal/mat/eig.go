@@ -1,0 +1,483 @@
+package mat
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNoConvergence is returned when an iterative eigenvalue algorithm fails
+// to converge within its iteration budget.
+var ErrNoConvergence = errors.New("mat: eigenvalue iteration did not converge")
+
+// Balance applies a diagonal similarity scaling D⁻¹AD in place so that row
+// and column norms are roughly equal, improving the accuracy of subsequent
+// eigenvalue computations (EISPACK balanc, without permutations). It returns
+// the diagonal scaling factors.
+func Balance(a *Matrix) []float64 {
+	n := a.Rows
+	d := make([]float64, n)
+	for i := range d {
+		d[i] = 1
+	}
+	const radix = 2.0
+	sqrdx := radix * radix
+	for done := false; !done; {
+		done = true
+		for i := 0; i < n; i++ {
+			r, c := 0.0, 0.0
+			for j := 0; j < n; j++ {
+				if j != i {
+					c += math.Abs(a.At(j, i))
+					r += math.Abs(a.At(i, j))
+				}
+			}
+			if c == 0 || r == 0 {
+				continue
+			}
+			g := r / radix
+			f := 1.0
+			s := c + r
+			for c < g {
+				f *= radix
+				c *= sqrdx
+			}
+			g = r * radix
+			for c > g {
+				f /= radix
+				c /= sqrdx
+			}
+			if (c+r)/f < 0.95*s {
+				done = false
+				g = 1 / f
+				d[i] *= f
+				for j := 0; j < n; j++ {
+					a.Set(i, j, a.At(i, j)*g)
+				}
+				for j := 0; j < n; j++ {
+					a.Set(j, i, a.At(j, i)*f)
+				}
+			}
+		}
+	}
+	return d
+}
+
+// HessenbergReduce reduces a to upper Hessenberg form in place using
+// Householder reflections: H = QᵀAQ. If wantQ is true the orthogonal
+// transformation Q is accumulated and returned; otherwise nil is returned.
+func HessenbergReduce(a *Matrix, wantQ bool) *Matrix {
+	n := a.Rows
+	if n != a.Cols {
+		panic("mat: HessenbergReduce of non-square matrix")
+	}
+	var vs [][]float64 // stored reflectors for Q accumulation
+	if wantQ {
+		vs = make([][]float64, 0, n)
+	}
+	v := make([]float64, n)
+	for k := 0; k < n-2; k++ {
+		// Householder on column k, rows k+1..n-1.
+		norm := 0.0
+		for i := k + 1; i < n; i++ {
+			norm = math.Hypot(norm, a.At(i, k))
+		}
+		if norm == 0 {
+			if wantQ {
+				vs = append(vs, nil)
+			}
+			continue
+		}
+		alpha := norm
+		if a.At(k+1, k) > 0 {
+			alpha = -norm
+		}
+		v0 := a.At(k+1, k) - alpha
+		for i := range v {
+			v[i] = 0
+		}
+		v[k+1] = 1
+		for i := k + 2; i < n; i++ {
+			v[i] = a.At(i, k) / v0
+		}
+		beta := -v0 / alpha
+		// A ← (I − β v vᵀ) A
+		for c := k; c < n; c++ {
+			s := 0.0
+			for i := k + 1; i < n; i++ {
+				s += v[i] * a.At(i, c)
+			}
+			s *= beta
+			for i := k + 1; i < n; i++ {
+				a.Set(i, c, a.At(i, c)-s*v[i])
+			}
+		}
+		// A ← A (I − β v vᵀ)
+		for r := 0; r < n; r++ {
+			s := 0.0
+			for i := k + 1; i < n; i++ {
+				s += a.At(r, i) * v[i]
+			}
+			s *= beta
+			for i := k + 1; i < n; i++ {
+				a.Set(r, i, a.At(r, i)-s*v[i])
+			}
+		}
+		// Clean the annihilated entries exactly.
+		a.Set(k+1, k, alpha)
+		for i := k + 2; i < n; i++ {
+			a.Set(i, k, 0)
+		}
+		if wantQ {
+			stored := make([]float64, n+1)
+			copy(stored[:n], v)
+			stored[n] = beta
+			vs = append(vs, stored)
+		}
+	}
+	if !wantQ {
+		return nil
+	}
+	// Accumulate Q = H₀H₁… by applying reflectors to the identity from the
+	// right (equivalently build Q so that A_original = Q H Qᵀ).
+	q := Identity(n)
+	for k := 0; k < len(vs); k++ {
+		stored := vs[k]
+		if stored == nil {
+			continue
+		}
+		beta := stored[n]
+		// Q ← Q (I − β v vᵀ)
+		for r := 0; r < n; r++ {
+			s := 0.0
+			for i := k + 1; i < n; i++ {
+				s += q.At(r, i) * stored[i]
+			}
+			s *= beta
+			for i := k + 1; i < n; i++ {
+				q.Set(r, i, q.At(r, i)-s*stored[i])
+			}
+		}
+	}
+	return q
+}
+
+// Schur holds a real Schur decomposition A = Q·T·Qᵀ where T is quasi-upper-
+// triangular (1×1 blocks for real eigenvalues, 2×2 blocks with complex
+// conjugate eigenvalue pairs) and Q is orthogonal.
+type Schur struct {
+	T *Matrix
+	Q *Matrix // nil if not requested
+	// Eigenvalues (paired real/imag parts).
+	WR, WI []float64
+}
+
+// SchurDecompose computes the real Schur form of a square matrix using
+// Hessenberg reduction followed by the Francis double-shift QR iteration
+// (hqr2-style). If wantQ is false, only T and the eigenvalues are valid.
+func SchurDecompose(a *Matrix, wantQ bool) (*Schur, error) {
+	h := a.Clone()
+	q := HessenbergReduce(h, wantQ)
+	if !wantQ {
+		q = nil
+	}
+	wr, wi, err := francisQR(h, q)
+	if err != nil {
+		return nil, err
+	}
+	return &Schur{T: h, Q: q, WR: wr, WI: wi}, nil
+}
+
+// EigenValues returns the eigenvalues of a general real square matrix as
+// complex numbers. The input is not modified. Balancing is applied for
+// accuracy.
+func EigenValues(a *Matrix) ([]complex128, error) {
+	w := a.Clone()
+	Balance(w)
+	HessenbergReduce(w, false)
+	wr, wi, err := francisQR(w, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]complex128, len(wr))
+	for i := range wr {
+		out[i] = complex(wr[i], wi[i])
+	}
+	return out, nil
+}
+
+// francisQR runs the Francis double-shift QR iteration on the upper
+// Hessenberg matrix h (in place), reducing it to real Schur form. If v is
+// non-nil the transformations are accumulated into it (v ← v·Z). Returns
+// eigenvalue real/imaginary parts.
+//
+// The implementation follows the classical hqr2 algorithm (EISPACK/JAMA):
+// 2×2 diagonal blocks with real eigenvalues are rotated into upper
+// triangular form, so remaining 2×2 blocks always carry complex pairs.
+func francisQR(h *Matrix, v *Matrix) (wr, wi []float64, err error) {
+	nn := h.Rows
+	wr = make([]float64, nn)
+	wi = make([]float64, nn)
+	if nn == 0 {
+		return wr, wi, nil
+	}
+	low, high := 0, nn-1
+	eps := math.Pow(2, -52)
+	exshift := 0.0
+	var p, q, r, s, z, w, x, y float64
+
+	// Outer loop over eigenvalue index.
+	n := nn - 1
+	iter := 0
+	totalIter := 0
+	maxTotal := 40 * nn
+	for n >= low {
+		totalIter++
+		if totalIter > maxTotal {
+			return nil, nil, ErrNoConvergence
+		}
+		// Look for a single small sub-diagonal element.
+		l := n
+		for l > low {
+			s = math.Abs(h.At(l-1, l-1)) + math.Abs(h.At(l, l))
+			if s == 0 {
+				s = hessNorm(h, low, high)
+			}
+			if math.Abs(h.At(l, l-1)) < eps*s {
+				break
+			}
+			l--
+		}
+
+		switch {
+		case l == n:
+			// One root found.
+			h.Set(n, n, h.At(n, n)+exshift)
+			wr[n] = h.At(n, n)
+			wi[n] = 0
+			n--
+			iter = 0
+
+		case l == n-1:
+			// Two roots found.
+			w = h.At(n, n-1) * h.At(n-1, n)
+			p = (h.At(n-1, n-1) - h.At(n, n)) / 2
+			q = p*p + w
+			z = math.Sqrt(math.Abs(q))
+			h.Set(n, n, h.At(n, n)+exshift)
+			h.Set(n-1, n-1, h.At(n-1, n-1)+exshift)
+			x = h.At(n, n)
+			if q >= 0 {
+				// Real pair: rotate the block into triangular form.
+				if p >= 0 {
+					z = p + z
+				} else {
+					z = p - z
+				}
+				wr[n-1] = x + z
+				wr[n] = wr[n-1]
+				if z != 0 {
+					wr[n] = x - w/z
+				}
+				wi[n-1] = 0
+				wi[n] = 0
+				x = h.At(n, n-1)
+				s = math.Abs(x) + math.Abs(z)
+				p = x / s
+				q = z / s
+				r = math.Sqrt(p*p + q*q)
+				p /= r
+				q /= r
+				for j := n - 1; j < nn; j++ {
+					z = h.At(n-1, j)
+					h.Set(n-1, j, q*z+p*h.At(n, j))
+					h.Set(n, j, q*h.At(n, j)-p*z)
+				}
+				for i := 0; i <= n; i++ {
+					z = h.At(i, n-1)
+					h.Set(i, n-1, q*z+p*h.At(i, n))
+					h.Set(i, n, q*h.At(i, n)-p*z)
+				}
+				if v != nil {
+					for i := low; i <= high; i++ {
+						z = v.At(i, n-1)
+						v.Set(i, n-1, q*z+p*v.At(i, n))
+						v.Set(i, n, q*v.At(i, n)-p*z)
+					}
+				}
+			} else {
+				// Complex pair.
+				wr[n-1] = x + p
+				wr[n] = x + p
+				wi[n-1] = z
+				wi[n] = -z
+			}
+			n -= 2
+			iter = 0
+
+		default:
+			// No convergence yet: perform a double QR step.
+			x = h.At(n, n)
+			y = 0.0
+			w = 0.0
+			y = h.At(n-1, n-1)
+			w = h.At(n, n-1) * h.At(n-1, n)
+
+			// Wilkinson's original ad hoc shift.
+			if iter == 10 || iter == 20 {
+				exshift += x
+				for i := low; i <= n; i++ {
+					h.Set(i, i, h.At(i, i)-x)
+				}
+				s = math.Abs(h.At(n, n-1)) + math.Abs(h.At(n-1, n-2))
+				x = 0.75 * s
+				y = x
+				w = -0.4375 * s * s
+			}
+			// MATLAB-style new ad hoc shift.
+			if iter == 30 {
+				s = (y - x) / 2
+				s = s*s + w
+				if s > 0 {
+					s = math.Sqrt(s)
+					if y < x {
+						s = -s
+					}
+					s = x - w/((y-x)/2+s)
+					for i := low; i <= n; i++ {
+						h.Set(i, i, h.At(i, i)-s)
+					}
+					exshift += s
+					x = 0.964
+					y = x
+					w = x
+				}
+			}
+			iter++
+			if iter > 60 {
+				return nil, nil, ErrNoConvergence
+			}
+
+			// Look for two consecutive small sub-diagonal elements.
+			m := n - 2
+			for m >= l {
+				z = h.At(m, m)
+				r = x - z
+				s = y - z
+				p = (r*s-w)/h.At(m+1, m) + h.At(m, m+1)
+				q = h.At(m+1, m+1) - z - r - s
+				r = h.At(m+2, m+1)
+				s = math.Abs(p) + math.Abs(q) + math.Abs(r)
+				p /= s
+				q /= s
+				r /= s
+				if m == l {
+					break
+				}
+				if math.Abs(h.At(m, m-1))*(math.Abs(q)+math.Abs(r)) <
+					eps*(math.Abs(p)*(math.Abs(h.At(m-1, m-1))+math.Abs(z)+math.Abs(h.At(m+1, m+1)))) {
+					break
+				}
+				m--
+			}
+			for i := m + 2; i <= n; i++ {
+				h.Set(i, i-2, 0)
+				if i > m+2 {
+					h.Set(i, i-3, 0)
+				}
+			}
+
+			// Double QR step on rows l..n, columns m..n.
+			for k := m; k <= n-1; k++ {
+				notlast := k != n-1
+				if k != m {
+					p = h.At(k, k-1)
+					q = h.At(k+1, k-1)
+					if notlast {
+						r = h.At(k+2, k-1)
+					} else {
+						r = 0
+					}
+					x = math.Abs(p) + math.Abs(q) + math.Abs(r)
+					if x == 0 {
+						continue
+					}
+					p /= x
+					q /= x
+					r /= x
+				}
+				s = math.Sqrt(p*p + q*q + r*r)
+				if p < 0 {
+					s = -s
+				}
+				if s != 0 {
+					if k != m {
+						h.Set(k, k-1, -s*x)
+					} else if l != m {
+						h.Set(k, k-1, -h.At(k, k-1))
+					}
+					p += s
+					x = p / s
+					y = q / s
+					z = r / s
+					q /= p
+					r /= p
+
+					// Row modification.
+					for j := k; j < nn; j++ {
+						p = h.At(k, j) + q*h.At(k+1, j)
+						if notlast {
+							p += r * h.At(k+2, j)
+							h.Set(k+2, j, h.At(k+2, j)-p*z)
+						}
+						h.Set(k, j, h.At(k, j)-p*x)
+						h.Set(k+1, j, h.At(k+1, j)-p*y)
+					}
+					// Column modification.
+					iMax := n
+					if k+3 < iMax {
+						iMax = k + 3
+					}
+					for i := 0; i <= iMax; i++ {
+						p = x*h.At(i, k) + y*h.At(i, k+1)
+						if notlast {
+							p += z * h.At(i, k+2)
+							h.Set(i, k+2, h.At(i, k+2)-p*r)
+						}
+						h.Set(i, k, h.At(i, k)-p)
+						h.Set(i, k+1, h.At(i, k+1)-p*q)
+					}
+					// Accumulate transformations.
+					if v != nil {
+						for i := low; i <= high; i++ {
+							p = x*v.At(i, k) + y*v.At(i, k+1)
+							if notlast {
+								p += z * v.At(i, k+2)
+								v.Set(i, k+2, v.At(i, k+2)-p*r)
+							}
+							v.Set(i, k, v.At(i, k)-p)
+							v.Set(i, k+1, v.At(i, k+1)-p*q)
+						}
+					}
+				}
+			}
+		}
+	}
+	return wr, wi, nil
+}
+
+func hessNorm(h *Matrix, low, high int) float64 {
+	norm := 0.0
+	n := h.Rows
+	for i := 0; i < n; i++ {
+		j0 := i - 1
+		if j0 < 0 {
+			j0 = 0
+		}
+		for j := j0; j < n; j++ {
+			norm += math.Abs(h.At(i, j))
+		}
+	}
+	_ = low
+	_ = high
+	return norm
+}

@@ -1,0 +1,139 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// EigenDecompose returns the eigenvalues of a real square matrix together
+// with a complex matrix of right eigenvectors (one column per eigenvalue,
+// conjugate pairs adjacent, each column normalized to unit 2-norm).
+//
+// Eigenvalues come from the real Schur form; eigenvectors are recovered by
+// inverse iteration with a small complex diagonal shift, which converges in
+// one or two sweeps for the well-separated spectra produced by rational
+// macromodels. Matrices with (numerically) repeated eigenvalues are
+// rejected — the pole-residue extraction this routine feeds is not defined
+// for defective systems.
+func EigenDecompose(a *Matrix) ([]complex128, *CMatrix, error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, nil, fmt.Errorf("mat: EigenDecompose needs a square matrix, got %d×%d", a.Rows, a.Cols)
+	}
+	values, err := EigenValues(a)
+	if err != nil {
+		return nil, nil, err
+	}
+	scale := a.MaxAbs()
+	if scale == 0 {
+		scale = 1
+	}
+	// Reject repeated eigenvalues: inverse iteration cannot separate them.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if cmplx.Abs(values[i]-values[j]) < 1e-9*scale && !isConjPair(values[i], values[j]) {
+				return nil, nil, fmt.Errorf("mat: EigenDecompose: eigenvalues %v and %v coincide within tolerance", values[i], values[j])
+			}
+		}
+	}
+	ac := RealToComplex(a)
+	vecs := NewCMatrix(n, n)
+	for k := 0; k < n; k++ {
+		// Conjugate pair: reuse the conjugate of the previous column.
+		if k > 0 && isConjPair(values[k-1], values[k]) {
+			for i := 0; i < n; i++ {
+				vecs.Set(i, k, cmplx.Conj(vecs.At(i, k-1)))
+			}
+			continue
+		}
+		v, err := inverseIteration(ac, values[k], scale)
+		if err != nil {
+			return nil, nil, fmt.Errorf("mat: eigenvector for λ=%v: %w", values[k], err)
+		}
+		for i := 0; i < n; i++ {
+			vecs.Set(i, k, v[i])
+		}
+	}
+	return values, vecs, nil
+}
+
+func isConjPair(a, b complex128) bool {
+	if imag(a) == 0 || imag(b) == 0 {
+		return false
+	}
+	return cmplx.Abs(a-cmplx.Conj(b)) < 1e-9*(1+cmplx.Abs(a))
+}
+
+// inverseIteration solves (A − (λ+δ)I)·x_{m+1} = x_m to convergence, with a
+// tiny shift δ keeping the system factorable.
+func inverseIteration(a *CMatrix, lambda complex128, scale float64) ([]complex128, error) {
+	n := a.Rows
+	const maxTries = 4
+	delta := complex(1e-10*scale, 0)
+	for try := 0; try < maxTries; try++ {
+		m := a.Clone()
+		shift := lambda + delta
+		for i := 0; i < n; i++ {
+			m.Set(i, i, m.At(i, i)-shift)
+		}
+		lu, err := CLUFactor(m)
+		if err != nil {
+			delta *= 16
+			continue
+		}
+		// Deterministic pseudo-random start keeps results reproducible.
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(math.Cos(float64(3*i+1)), math.Sin(float64(2*i+1)))
+		}
+		normalizeC(x)
+		var residual float64
+		for sweep := 0; sweep < 6; sweep++ {
+			x = lu.SolveVec(x)
+			normalizeC(x)
+			residual = eigResidual(a, x, lambda)
+			if residual < 1e-9*scale {
+				return x, nil
+			}
+		}
+		if residual < 1e-6*scale {
+			return x, nil
+		}
+		delta *= 16
+	}
+	return nil, fmt.Errorf("inverse iteration did not converge")
+}
+
+func normalizeC(x []complex128) {
+	n := CNorm2(x)
+	if n == 0 {
+		return
+	}
+	// Fix the global phase so that the largest entry is real positive —
+	// makes conjugate-pair bookkeeping deterministic.
+	best := 0
+	for i := range x {
+		if cmplx.Abs(x[i]) > cmplx.Abs(x[best]) {
+			best = i
+		}
+	}
+	phase := complex(1, 0)
+	if x[best] != 0 {
+		phase = x[best] / complex(cmplx.Abs(x[best]), 0)
+	}
+	for i := range x {
+		x[i] /= phase * complex(n, 0)
+	}
+}
+
+func eigResidual(a *CMatrix, x []complex128, lambda complex128) float64 {
+	ax := a.MulVec(x)
+	worst := 0.0
+	for i := range ax {
+		if d := cmplx.Abs(ax[i] - lambda*x[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

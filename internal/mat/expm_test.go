@@ -1,0 +1,159 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExpmZeroIsIdentity(t *testing.T) {
+	e, err := Expm(NewMatrix(5, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Equalish(Identity(5), 1e-14) {
+		t.Fatalf("expm(0) != I:\n%v", e)
+	}
+}
+
+func TestExpmDiagonal(t *testing.T) {
+	d := NewMatrixFrom([][]float64{{-1, 0, 0}, {0, 2.5, 0}, {0, 0, -7}})
+	e, err := Expm(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		want := math.Exp(d.At(i, i))
+		if math.Abs(e.At(i, i)-want) > 1e-12*want {
+			t.Fatalf("expm diag %d: %v want %v", i, e.At(i, i), want)
+		}
+		for j := 0; j < 3; j++ {
+			if i != j && math.Abs(e.At(i, j)) > 1e-12 {
+				t.Fatalf("expm diag off-diagonal (%d,%d) = %v", i, j, e.At(i, j))
+			}
+		}
+	}
+}
+
+func TestExpmNilpotent(t *testing.T) {
+	// A = [[0,1],[0,0]] is nilpotent: e^A = I + A exactly.
+	a := NewMatrixFrom([][]float64{{0, 1}, {0, 0}})
+	e, err := Expm(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NewMatrixFrom([][]float64{{1, 1}, {0, 1}})
+	if !e.Equalish(want, 1e-14) {
+		t.Fatalf("expm(nilpotent):\n%v", e)
+	}
+}
+
+func TestExpmRotation(t *testing.T) {
+	// A = [[0,−θ],[θ,0]] generates a rotation by θ.
+	for _, theta := range []float64{0.1, 1, math.Pi / 2, 3, 12.7} {
+		a := NewMatrixFrom([][]float64{{0, -theta}, {theta, 0}})
+		e, err := Expm(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := NewMatrixFrom([][]float64{
+			{math.Cos(theta), -math.Sin(theta)},
+			{math.Sin(theta), math.Cos(theta)},
+		})
+		if !e.Equalish(want, 1e-10) {
+			t.Fatalf("θ=%v:\n%v\nwant\n%v", theta, e, want)
+		}
+	}
+}
+
+func TestExpmInverseProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for n := 1; n <= 12; n += 4 {
+		a := randMatrix(rng, n, n)
+		e, err := Expm(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		em, err := Expm(a.Scale(-1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !e.Mul(em).Equalish(Identity(n), 1e-8) {
+			t.Fatalf("n=%d: expm(A)·expm(−A) != I", n)
+		}
+	}
+}
+
+func TestExpmSemigroupProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		a := randMatrix(rng, n, n)
+		e1, err := Expm(a)
+		if err != nil {
+			return false
+		}
+		e2, err := Expm(a.Scale(2))
+		if err != nil {
+			return false
+		}
+		return e1.Mul(e1).Equalish(e2, 1e-7*(1+e2.MaxAbs()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpmLargeNormScaling(t *testing.T) {
+	// Force the scaling branch with a large-norm stable matrix; check
+	// against the semigroup identity expm(A) = expm(A/16)^16.
+	rng := rand.New(rand.NewSource(22))
+	a := randStable(rng, 8).Scale(40)
+	e, err := Expm(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := Expm(a.Scale(1.0 / 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := Identity(8)
+	for k := 0; k < 16; k++ {
+		acc = acc.Mul(small)
+	}
+	if !e.Equalish(acc, 1e-6*(1+acc.MaxAbs())) {
+		t.Fatal("scaling branch disagrees with repeated squaring of the small exponential")
+	}
+}
+
+func TestExpmTraceDeterminantIdentity(t *testing.T) {
+	// det(expm(A)) = exp(tr(A)).
+	rng := rand.New(rand.NewSource(23))
+	a := randMatrix(rng, 6, 6)
+	e, err := Expm(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lu, err := LUFactor(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Exp(a.Trace())
+	if math.Abs(lu.Det()-want) > 1e-8*want {
+		t.Fatalf("det(expm(A)) = %v want %v", lu.Det(), want)
+	}
+}
+
+func TestExpmRejectsNonSquare(t *testing.T) {
+	if _, err := Expm(NewMatrix(2, 3)); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func TestNorm1(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{1, -4}, {-2, 3}})
+	if got := a.Norm1(); got != 7 {
+		t.Fatalf("Norm1 = %v want 7", got)
+	}
+}

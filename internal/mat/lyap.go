@@ -1,0 +1,224 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// IsQuasiUpperTriangular reports whether t is quasi-upper-triangular: all
+// entries below the first sub-diagonal are (absolutely) below tol, and no
+// two consecutive sub-diagonal entries are both above tol. Such matrices are
+// already in real Schur form, which lets the Lyapunov solver skip the Schur
+// decomposition entirely — the case for all pole-residue realizations in
+// this codebase (block-diagonal with 2×2 complex-pair blocks).
+func IsQuasiUpperTriangular(t *Matrix, tol float64) bool {
+	if t.Rows != t.Cols {
+		return false
+	}
+	n := t.Rows
+	for i := 2; i < n; i++ {
+		for j := 0; j < i-1; j++ {
+			if math.Abs(t.At(i, j)) > tol {
+				return false
+			}
+		}
+	}
+	prev := false
+	for i := 1; i < n; i++ {
+		cur := math.Abs(t.At(i, i-1)) > tol
+		if cur && prev {
+			return false
+		}
+		prev = cur
+	}
+	return true
+}
+
+// schurBlocks returns the diagonal block boundaries of a quasi-upper-
+// triangular matrix: blocks[i] = (start, size) with size ∈ {1,2}.
+func schurBlocks(t *Matrix, tol float64) [][2]int {
+	n := t.Rows
+	var blocks [][2]int
+	i := 0
+	for i < n {
+		if i+1 < n && math.Abs(t.At(i+1, i)) > tol {
+			blocks = append(blocks, [2]int{i, 2})
+			i += 2
+		} else {
+			blocks = append(blocks, [2]int{i, 1})
+			i++
+		}
+	}
+	return blocks
+}
+
+// LyapQuasiTri solves the continuous Lyapunov equation
+//
+//	T·X + X·Tᵀ + C = 0
+//
+// for quasi-upper-triangular T (real Schur form) by Bartels–Stewart
+// back-substitution. C must be square with matching dimension; it is not
+// modified. The result is symmetrized when C is symmetric.
+func LyapQuasiTri(t, c *Matrix) (*Matrix, error) {
+	n := t.Rows
+	if t.Cols != n || c.Rows != n || c.Cols != n {
+		panic("mat: LyapQuasiTri dimension mismatch")
+	}
+	tol := 1e-12 * (1 + t.MaxAbs())
+	blocks := schurBlocks(t, tol)
+	nb := len(blocks)
+	x := NewMatrix(n, n)
+
+	// Solve block column j (descending), block row i (descending).
+	for jb := nb - 1; jb >= 0; jb-- {
+		j0, js := blocks[jb][0], blocks[jb][1]
+		for ib := nb - 1; ib >= 0; ib-- {
+			i0, is := blocks[ib][0], blocks[ib][1]
+			// RHS = −C_ij − Σ_{k>i} T_ik X_kj − Σ_{k>j} X_ik (T_jk)ᵀ.
+			rhs := NewMatrix(is, js)
+			for r := 0; r < is; r++ {
+				for cc := 0; cc < js; cc++ {
+					rhs.Set(r, cc, -c.At(i0+r, j0+cc))
+				}
+			}
+			// − T[i0:i0+is, i0+is:] · X[i0+is:, j0:j0+js]
+			for r := 0; r < is; r++ {
+				for cc := 0; cc < js; cc++ {
+					s := 0.0
+					for k := i0 + is; k < n; k++ {
+						s += t.At(i0+r, k) * x.At(k, j0+cc)
+					}
+					rhs.Set(r, cc, rhs.At(r, cc)-s)
+				}
+			}
+			// − X[i0:i0+is, j0+js:] · Tᵀ[j0+js:, j0:j0+js]
+			for r := 0; r < is; r++ {
+				for cc := 0; cc < js; cc++ {
+					s := 0.0
+					for k := j0 + js; k < n; k++ {
+						s += x.At(i0+r, k) * t.At(j0+cc, k)
+					}
+					rhs.Set(r, cc, rhs.At(r, cc)-s)
+				}
+			}
+			// Solve T_ii·Y + Y·T_jjᵀ = RHS via the Kronecker system
+			// (I ⊗ T_ii + T_jj ⊗ I)·vec(Y) = vec(RHS), column-major vec.
+			m := is * js
+			kr := NewMatrix(m, m)
+			for cc := 0; cc < js; cc++ {
+				for r := 0; r < is; r++ {
+					row := cc*is + r
+					for r2 := 0; r2 < is; r2++ {
+						kr.Set(row, cc*is+r2, kr.At(row, cc*is+r2)+t.At(i0+r, i0+r2))
+					}
+					for c2 := 0; c2 < js; c2++ {
+						kr.Set(row, c2*is+r, kr.At(row, c2*is+r)+t.At(j0+cc, j0+c2))
+					}
+				}
+			}
+			vecRHS := make([]float64, m)
+			for cc := 0; cc < js; cc++ {
+				for r := 0; r < is; r++ {
+					vecRHS[cc*is+r] = rhs.At(r, cc)
+				}
+			}
+			sol, err := SolveLin(kr, vecRHS)
+			if err != nil {
+				return nil, fmt.Errorf("mat: Lyapunov block (%d,%d) singular (eigenvalue pair sums to zero): %w", ib, jb, err)
+			}
+			for cc := 0; cc < js; cc++ {
+				for r := 0; r < is; r++ {
+					x.Set(i0+r, j0+cc, sol[cc*is+r])
+				}
+			}
+		}
+	}
+	return x, nil
+}
+
+// Lyapunov solves A·X + X·Aᵀ + C = 0 for general square A. When A is
+// already quasi-upper-triangular the Bartels–Stewart back-substitution is
+// applied directly; otherwise a real Schur decomposition is computed first.
+func Lyapunov(a, c *Matrix) (*Matrix, error) {
+	n := a.Rows
+	if a.Cols != n || c.Rows != n || c.Cols != n {
+		panic("mat: Lyapunov dimension mismatch")
+	}
+	tol := 1e-12 * (1 + a.MaxAbs())
+	if IsQuasiUpperTriangular(a, tol) {
+		return LyapQuasiTri(a, c)
+	}
+	sch, err := SchurDecompose(a, true)
+	if err != nil {
+		return nil, err
+	}
+	// A = Q T Qᵀ ⇒ T·Y + Y·Tᵀ + QᵀCQ = 0 with Y = QᵀXQ.
+	qt := sch.Q.T()
+	cq := qt.Mul(c).Mul(sch.Q)
+	y, err := LyapQuasiTri(sch.T, cq)
+	if err != nil {
+		return nil, err
+	}
+	x := sch.Q.Mul(y).Mul(qt)
+	return x, nil
+}
+
+// ControllabilityGramian solves A·P + P·Aᵀ = −B·Bᵀ for a stable A,
+// returning the (symmetric positive semidefinite) controllability Gramian.
+func ControllabilityGramian(a, b *Matrix) (*Matrix, error) {
+	if a.Rows != b.Rows {
+		panic("mat: ControllabilityGramian dimension mismatch")
+	}
+	bbT := b.Mul(b.T())
+	p, err := Lyapunov(a, bbT)
+	if err != nil {
+		return nil, err
+	}
+	p.Symmetrize()
+	return p, nil
+}
+
+// ObservabilityGramian solves Aᵀ·Q + Q·A = −Cᵀ·C for a stable A.
+//
+// When A is quasi-upper-triangular (the block-diagonal pole realizations
+// everywhere in this library), the naive route through Lyapunov(Aᵀ, ·)
+// would lose the structure — Aᵀ is quasi-LOWER-triangular — and pay for a
+// Schur decomposition. The 180°-flip J·Aᵀ·J (J = exchange matrix) is
+// quasi-upper-triangular again, and with Y = J·Q·J the equation becomes
+// (J·Aᵀ·J)·Y + Y·(J·Aᵀ·J)ᵀ = −J·CᵀC·J, solvable by direct
+// back-substitution.
+func ObservabilityGramian(a, c *Matrix) (*Matrix, error) {
+	if a.Cols != c.Cols {
+		panic("mat: ObservabilityGramian dimension mismatch")
+	}
+	ctc := c.T().Mul(c)
+	tol := 1e-12 * (1 + a.MaxAbs())
+	if IsQuasiUpperTriangular(a, tol) {
+		b := flip180(a.T())
+		y, err := LyapQuasiTri(b, flip180(ctc))
+		if err != nil {
+			return nil, err
+		}
+		q := flip180(y)
+		q.Symmetrize()
+		return q, nil
+	}
+	q, err := Lyapunov(a.T(), ctc)
+	if err != nil {
+		return nil, err
+	}
+	q.Symmetrize()
+	return q, nil
+}
+
+// flip180 returns J·M·J: the matrix rotated by 180° (rows and columns both
+// reversed).
+func flip180(m *Matrix) *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Set(m.Rows-1-i, m.Cols-1-j, m.At(i, j))
+		}
+	}
+	return out
+}

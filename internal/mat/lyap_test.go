@@ -1,0 +1,298 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randStable returns a random Hurwitz-stable matrix (eigenvalues in the open
+// left half plane) by shifting a random matrix.
+func randStable(rng *rand.Rand, n int) *Matrix {
+	a := randMatrix(rng, n, n)
+	// Shift left by slightly more than a norm bound on the spectral abscissa.
+	shift := a.FrobNorm() + 0.5
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)-shift)
+	}
+	return a
+}
+
+// blockDiagStable builds the kind of matrix pole-residue realizations
+// produce: 1×1 blocks for real poles and 2×2 [[α,β],[−β,α]] blocks for
+// complex pairs, all with α<0.
+func blockDiagStable(rng *rand.Rand, nReal, nPairs int) *Matrix {
+	n := nReal + 2*nPairs
+	a := NewMatrix(n, n)
+	k := 0
+	for i := 0; i < nReal; i++ {
+		a.Set(k, k, -0.1-5*rng.Float64())
+		k++
+	}
+	for i := 0; i < nPairs; i++ {
+		al := -0.1 - 5*rng.Float64()
+		be := 0.5 + 10*rng.Float64()
+		a.Set(k, k, al)
+		a.Set(k, k+1, be)
+		a.Set(k+1, k, -be)
+		a.Set(k+1, k+1, al)
+		k += 2
+	}
+	return a
+}
+
+func lyapResidual(a, x, c *Matrix) float64 {
+	r := a.Mul(x).Add(x.Mul(a.T())).Add(c)
+	return r.MaxAbs()
+}
+
+func TestLyapQuasiTriBlockDiagonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	a := blockDiagStable(rng, 3, 4) // 11×11
+	b := randMatrix(rng, 11, 2)
+	c := b.Mul(b.T())
+	x, err := LyapQuasiTri(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := lyapResidual(a, x, c); res > 1e-9*(1+c.MaxAbs()) {
+		t.Fatalf("residual %v", res)
+	}
+}
+
+func TestLyapunovGeneral(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for _, n := range []int{1, 2, 5, 12} {
+		a := randStable(rng, n)
+		b := randMatrix(rng, n, 3)
+		c := b.Mul(b.T())
+		x, err := Lyapunov(a, c)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		scale := 1 + c.MaxAbs() + x.MaxAbs()*a.MaxAbs()
+		if res := lyapResidual(a, x, c); res > 1e-8*scale {
+			t.Fatalf("n=%d residual %v", n, res)
+		}
+	}
+}
+
+func TestLyapunovUpperBlockTriangular(t *testing.T) {
+	// The weighted-Gramian case: A = [[A1, B12],[0, A2]] with quasi-
+	// triangular diagonal blocks must take the fast path and still solve.
+	rng := rand.New(rand.NewSource(52))
+	a1 := blockDiagStable(rng, 1, 2) // 5×5
+	a2 := blockDiagStable(rng, 2, 1) // 4×4
+	n := 9
+	a := NewMatrix(n, n)
+	a.SetSlice(0, 0, a1)
+	a.SetSlice(5, 5, a2)
+	cpl := randMatrix(rng, 5, 4)
+	a.SetSlice(0, 5, cpl)
+	if !IsQuasiUpperTriangular(a, 1e-14) {
+		t.Fatalf("test matrix should be quasi-triangular")
+	}
+	b := randMatrix(rng, n, 1)
+	c := b.Mul(b.T())
+	x, err := Lyapunov(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := lyapResidual(a, x, c); res > 1e-9*(1+c.MaxAbs()+x.MaxAbs()*a.MaxAbs()) {
+		t.Fatalf("residual %v", res)
+	}
+}
+
+func TestControllabilityGramianSPD(t *testing.T) {
+	// For a stable, controllable system the Gramian is SPD; check via
+	// Cholesky and via quadratic forms.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nReal := rng.Intn(3)
+		nPairs := 1 + rng.Intn(3)
+		a := blockDiagStable(rng, nReal, nPairs)
+		n := a.Rows
+		b := NewMatrix(n, 1)
+		for i := 0; i < n; i++ {
+			b.Set(i, 0, 1+rng.Float64()) // nonzero in every mode ⇒ controllable
+		}
+		p, err := ControllabilityGramian(a, b)
+		if err != nil {
+			return false
+		}
+		_, err = CholFactor(p)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGramianMatchesIntegralDefinition(t *testing.T) {
+	// P = ∫₀^∞ e^{At} B Bᵀ e^{Aᵀt} dt, approximated by dense quadrature for
+	// a small very-stable system.
+	a := NewMatrixFrom([][]float64{{-1, 0}, {0, -3}})
+	b := NewMatrixFrom([][]float64{{1}, {2}})
+	p, err := ControllabilityGramian(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Closed form: P_ij = B_i·B_j / −(λ_i + λ_j)
+	want := NewMatrixFrom([][]float64{
+		{1.0 / 2.0, 2.0 / 4.0},
+		{2.0 / 4.0, 4.0 / 6.0},
+	})
+	if !p.Equalish(want, 1e-10) {
+		t.Fatalf("Gramian:\n%v\nwant\n%v", p, want)
+	}
+}
+
+func TestObservabilityGramian(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{-2, 1}, {0, -1}})
+	c := NewMatrixFrom([][]float64{{1, 1}})
+	q, err := ObservabilityGramian(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Residual of AᵀQ + QA + CᵀC = 0.
+	r := a.T().Mul(q).Add(q.Mul(a)).Add(c.T().Mul(c))
+	if r.MaxAbs() > 1e-10 {
+		t.Fatalf("observability residual %v", r.MaxAbs())
+	}
+}
+
+func TestLyapunovUnstableFails(t *testing.T) {
+	// λ_i + λ_j = 0 makes the equation singular: A = diag(1, -1).
+	a := NewMatrixFrom([][]float64{{1, 0}, {0, -1}})
+	c := Identity(2)
+	if _, err := Lyapunov(a, c); err == nil {
+		t.Fatalf("expected singular Lyapunov failure")
+	}
+}
+
+func TestIsQuasiUpperTriangular(t *testing.T) {
+	a := NewMatrixFrom([][]float64{
+		{1, 2, 3},
+		{4, 5, 6},
+		{0, 0, 7},
+	})
+	if !IsQuasiUpperTriangular(a, 1e-14) {
+		t.Fatalf("should be quasi-triangular")
+	}
+	b := NewMatrixFrom([][]float64{
+		{1, 2, 3},
+		{4, 5, 6},
+		{0, 4, 7},
+	})
+	if IsQuasiUpperTriangular(b, 1e-14) {
+		t.Fatalf("consecutive subdiagonals should fail")
+	}
+	c := NewMatrixFrom([][]float64{
+		{1, 2},
+		{3, 4},
+	})
+	if !IsQuasiUpperTriangular(c, 1e-14) {
+		t.Fatalf("2×2 full block is quasi-triangular")
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	p := randSPD(rng, 9)
+	ch, err := CholFactor(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// L·Lᵀ == P
+	l := ch.L()
+	if !l.Mul(l.T()).Equalish(p, 1e-9*(1+p.MaxAbs())) {
+		t.Fatalf("LLᵀ != P")
+	}
+	b := make([]float64, 9)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x := ch.SolveVec(b)
+	r := p.MulVec(x)
+	for i := range r {
+		if math.Abs(r[i]-b[i]) > 1e-8*(1+math.Abs(b[i])) {
+			t.Fatalf("chol solve residual")
+		}
+	}
+}
+
+func TestCholeskyNotPD(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, −1
+	if _, err := CholFactor(a); err == nil {
+		t.Fatalf("expected ErrNotPD")
+	}
+	// Regularized version must succeed with some shift.
+	_, shift, err := CholFactorRegularized(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shift < 1 { // needs at least +1 to flip the −1 eigenvalue
+		t.Fatalf("shift %v too small", shift)
+	}
+}
+
+func BenchmarkLyapQuasiTri20(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	a := blockDiagStable(rng, 4, 8) // 20×20
+	bb := randMatrix(rng, 20, 1)
+	c := bb.Mul(bb.T())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LyapQuasiTri(a, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestObservabilityGramianFastPathMatchesGeneral(t *testing.T) {
+	// Quasi-upper-triangular A exercises the flip180 fast path; compare
+	// against the residual definition AᵀQ + QA + CᵀC = 0 and against a
+	// dense (rotated) A that takes the Schur path.
+	rng := rand.New(rand.NewSource(81))
+	a := blockDiagStable(rng, 3, 3) // 9 states, quasi-triangular
+	c := randMatrix(rng, 2, 9)
+	q, err := ObservabilityGramian(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := a.T().Mul(q).Add(q.Mul(a)).Add(c.T().Mul(c))
+	if res.MaxAbs() > 1e-9*(1+q.MaxAbs()) {
+		t.Fatalf("fast-path residual %g", res.MaxAbs())
+	}
+	// Rotate the basis with a random orthogonal-ish transform to destroy
+	// the structure: Gramian must transform contravariantly.
+	m := randMatrix(rng, 9, 9)
+	qr := QRFactor(m)
+	qq := qr.R() // any invertible T works; use R for simplicity
+	tinv, err := Inverse(qq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2 := tinv.Mul(a.Mul(qq))
+	c2 := c.Mul(qq)
+	q2, err := ObservabilityGramian(a2, c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := qq.T().Mul(q).Mul(qq)
+	if !q2.Equalish(want, 1e-6*(1+want.MaxAbs())) {
+		t.Fatal("general path disagrees with transformed fast-path Gramian")
+	}
+}
+
+func TestFlip180Involution(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	m := randMatrix(rng, 5, 7)
+	if !flip180(flip180(m)).Equalish(m, 0) {
+		t.Fatal("flip180 must be an involution")
+	}
+	if flip180(m).At(0, 0) != m.At(4, 6) {
+		t.Fatal("flip180 corner mapping wrong")
+	}
+}

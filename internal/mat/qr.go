@@ -1,0 +1,189 @@
+package mat
+
+import (
+	"math"
+)
+
+// QR holds a Householder QR factorization of an m×n matrix with m ≥ n:
+// A = Q·R with Q m×m orthogonal (stored implicitly as Householder vectors)
+// and R m×n upper trapezoidal.
+type QR struct {
+	qr   *Matrix   // Householder vectors below diagonal, R on/above
+	beta []float64 // Householder scalar per reflector
+}
+
+// QRFactor computes the QR factorization of a (m ≥ n required for the
+// least-squares solver; the factorization itself works for any shape with
+// min(m,n) reflectors). The input is not modified.
+func QRFactor(a *Matrix) *QR {
+	m, n := a.Rows, a.Cols
+	qr := a.Clone()
+	k := m
+	if n < k {
+		k = n
+	}
+	beta := make([]float64, k)
+	v := make([]float64, m)
+	data := qr.Data
+	for j := 0; j < k; j++ {
+		// Build Householder vector for column j, rows j..m-1. The scan
+		// works on the flat backing array with a strided index: the QR of
+		// the per-response Vector Fitting blocks is the hottest loop in
+		// the library, so the column norm uses a scaled two-pass sum
+		// instead of per-element math.Hypot.
+		amax := 0.0
+		for i := j; i < m; i++ {
+			if a := math.Abs(data[i*n+j]); a > amax {
+				amax = a
+			}
+		}
+		if amax == 0 {
+			beta[j] = 0
+			continue
+		}
+		sumSq := 0.0
+		for i := j; i < m; i++ {
+			t := data[i*n+j] / amax
+			sumSq += t * t
+		}
+		norm := amax * math.Sqrt(sumSq)
+		x0 := data[j*n+j]
+		alpha := norm
+		if x0 > 0 {
+			alpha = -norm
+		}
+		// v = x − alpha·e1, normalized so v[0] = 1.
+		v0 := x0 - alpha
+		v[j] = 1
+		for i := j + 1; i < m; i++ {
+			v[i] = data[i*n+j] / v0
+		}
+		bj := -v0 / alpha
+		beta[j] = bj
+		// Apply H = I − beta·v·vᵀ to the trailing columns: one pass per
+		// row instead of per column to stay cache-friendly on the
+		// row-major layout. s[c] accumulates vᵀ·A[:, c].
+		s := make([]float64, n-j)
+		row := data[j*n : j*n+n]
+		copy(s, row[j:])
+		for i := j + 1; i < m; i++ {
+			ri := data[i*n : i*n+n]
+			vi := v[i]
+			for c := j; c < n; c++ {
+				s[c-j] += vi * ri[c]
+			}
+		}
+		for c := j; c < n; c++ {
+			s[c-j] *= bj
+		}
+		for c := j; c < n; c++ {
+			row[c] -= s[c-j]
+		}
+		for i := j + 1; i < m; i++ {
+			ri := data[i*n : i*n+n]
+			vi := v[i]
+			for c := j; c < n; c++ {
+				ri[c] -= s[c-j] * vi
+			}
+		}
+		// Store the (normalized) Householder vector below the diagonal,
+		// and the R value alpha on the diagonal.
+		row[j] = alpha
+		for i := j + 1; i < m; i++ {
+			data[i*n+j] = v[i]
+		}
+	}
+	return &QR{qr: qr, beta: beta}
+}
+
+// R returns the upper-triangular factor as a square n×n matrix (top block).
+func (f *QR) R() *Matrix {
+	n := f.qr.Cols
+	r := NewMatrix(n, n)
+	limit := f.qr.Rows
+	if n < limit {
+		limit = n
+	}
+	for i := 0; i < limit; i++ {
+		for j := i; j < n; j++ {
+			r.Set(i, j, f.qr.At(i, j))
+		}
+	}
+	return r
+}
+
+// ApplyQT overwrites b (length m) with Qᵀ·b.
+func (f *QR) ApplyQT(b []float64) {
+	m := f.qr.Rows
+	if len(b) != m {
+		panic("mat: ApplyQT length mismatch")
+	}
+	for j := 0; j < len(f.beta); j++ {
+		if f.beta[j] == 0 {
+			continue
+		}
+		s := b[j]
+		for i := j + 1; i < m; i++ {
+			s += f.qr.At(i, j) * b[i]
+		}
+		s *= f.beta[j]
+		b[j] -= s
+		for i := j + 1; i < m; i++ {
+			b[i] -= s * f.qr.At(i, j)
+		}
+	}
+}
+
+// SolveVec solves the least-squares problem min‖A·x − b‖₂ for tall A.
+func (f *QR) SolveVec(b []float64) ([]float64, error) {
+	m, n := f.qr.Rows, f.qr.Cols
+	if m < n {
+		panic("mat: QR SolveVec requires m ≥ n")
+	}
+	if len(b) != m {
+		panic("mat: QR SolveVec length mismatch")
+	}
+	w := make([]float64, m)
+	copy(w, b)
+	f.ApplyQT(w)
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := w[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.qr.At(i, j) * x[j]
+		}
+		d := f.qr.At(i, i)
+		if d == 0 {
+			return nil, ErrSingular
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// LeastSquares solves min‖A·x − b‖₂ via Householder QR.
+func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	return QRFactor(a).SolveVec(b)
+}
+
+// QRCompressR computes the QR factorization of a and returns only the
+// trailing diagonal block R[c0:, c0:] of the triangular factor, an
+// (n−c0)×(n−c0) matrix. This is the compression step used by fast vector
+// fitting: for a block matrix [A₁ A₂], the R₂₂ block captures the projection
+// of A₂ onto the orthogonal complement of range(A₁).
+func QRCompressR(a *Matrix, c0 int) *Matrix {
+	f := QRFactor(a)
+	n := a.Cols
+	if c0 < 0 || c0 > n {
+		panic("mat: QRCompressR split out of range")
+	}
+	size := n - c0
+	out := NewMatrix(size, size)
+	limit := f.qr.Rows
+	for i := c0; i < n && i < limit; i++ {
+		for j := i; j < n; j++ {
+			out.Set(i-c0, j-c0, f.qr.At(i, j))
+		}
+	}
+	return out
+}

@@ -1,0 +1,372 @@
+package mat
+
+import (
+	"math"
+	"math/cmplx"
+	"sort"
+)
+
+// CSVD holds a (thin) singular value decomposition A = U·diag(S)·Vᴴ of an
+// m×n complex matrix with m ≥ n: U is m×n with orthonormal columns, V is
+// n×n unitary, and S holds the singular values in descending order.
+type CSVD struct {
+	U *CMatrix
+	S []float64
+	V *CMatrix
+}
+
+// CSVDecompose computes the thin SVD of a complex matrix using one-sided
+// Jacobi rotations. One-sided Jacobi is chosen for its simplicity and high
+// relative accuracy; the matrices in this codebase are small (port counts up
+// to ~100), so its O(n³) sweeps are not a bottleneck. For m < n the
+// decomposition is computed on the conjugate transpose and swapped back.
+func CSVDecompose(a *CMatrix) *CSVD {
+	if a.Rows < a.Cols {
+		s := CSVDecompose(a.H())
+		return &CSVD{U: s.V, S: s.S, V: s.U}
+	}
+	m, n := a.Rows, a.Cols
+	w := a.Clone()    // working copy; columns converge to U·diag(S)
+	v := CIdentity(n) // accumulates right-hand rotations
+
+	const tol = 1e-14
+	maxSweeps := 60
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				// Gram entries of columns p,q.
+				var app, aqq float64
+				var apq complex128
+				for i := 0; i < m; i++ {
+					cp := w.At(i, p)
+					cq := w.At(i, q)
+					app += real(cp)*real(cp) + imag(cp)*imag(cp)
+					aqq += real(cq)*real(cq) + imag(cq)*imag(cq)
+					apq += cmplx.Conj(cp) * cq
+				}
+				mag := cmplx.Abs(apq)
+				if mag <= tol*math.Sqrt(app*aqq) || mag == 0 {
+					continue
+				}
+				off++
+				// Phase so the effective off-diagonal entry is real:
+				// with alpha = apq/|apq|, the pair (col_p, col_q·conj(alpha))
+				// has real positive inner product |apq|.
+				alpha := apq / complex(mag, 0)
+				// Real Jacobi rotation diagonalizing [[app,mag],[mag,aqq]].
+				tau := (aqq - app) / (2 * mag)
+				var t float64
+				if tau >= 0 {
+					t = 1 / (tau + math.Sqrt(1+tau*tau))
+				} else {
+					t = -1 / (-tau + math.Sqrt(1+tau*tau))
+				}
+				cs := 1 / math.Sqrt(1+t*t)
+				sn := cs * t
+				// Column update:
+				//   new_p = cs·p − sn·conj(alpha)·q
+				//   new_q = sn·alpha·p + cs·q
+				ca := complex(sn, 0) * cmplx.Conj(alpha)
+				cb := complex(sn, 0) * alpha
+				ccs := complex(cs, 0)
+				for i := 0; i < m; i++ {
+					cp := w.At(i, p)
+					cq := w.At(i, q)
+					w.Set(i, p, ccs*cp-ca*cq)
+					w.Set(i, q, cb*cp+ccs*cq)
+				}
+				for i := 0; i < n; i++ {
+					vp := v.At(i, p)
+					vq := v.At(i, q)
+					v.Set(i, p, ccs*vp-ca*vq)
+					v.Set(i, q, cb*vp+ccs*vq)
+				}
+			}
+		}
+		if off == 0 {
+			break
+		}
+	}
+
+	// Extract singular values and left vectors.
+	s := make([]float64, n)
+	u := NewCMatrix(m, n)
+	for j := 0; j < n; j++ {
+		norm := 0.0
+		for i := 0; i < m; i++ {
+			c := w.At(i, j)
+			norm += real(c)*real(c) + imag(c)*imag(c)
+		}
+		norm = math.Sqrt(norm)
+		s[j] = norm
+		if norm > 0 {
+			inv := complex(1/norm, 0)
+			for i := 0; i < m; i++ {
+				u.Set(i, j, w.At(i, j)*inv)
+			}
+		} else {
+			// Zero singular value: leave the U column zero; callers that
+			// need a full basis can re-orthogonalize.
+			u.Set(j%m, j, 1)
+		}
+	}
+
+	// Sort descending by singular value.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return s[idx[a]] > s[idx[b]] })
+	ss := make([]float64, n)
+	us := NewCMatrix(m, n)
+	vs := NewCMatrix(n, n)
+	for newj, oldj := range idx {
+		ss[newj] = s[oldj]
+		for i := 0; i < m; i++ {
+			us.Set(i, newj, u.At(i, oldj))
+		}
+		for i := 0; i < n; i++ {
+			vs.Set(i, newj, v.At(i, oldj))
+		}
+	}
+	return &CSVD{U: us, S: ss, V: vs}
+}
+
+// SingularValues returns just the singular values of a complex matrix in
+// descending order.
+func SingularValues(a *CMatrix) []float64 {
+	return CSVDecompose(a).S
+}
+
+// MaxSingularValue returns the spectral norm ‖a‖₂ of a complex matrix.
+func MaxSingularValue(a *CMatrix) float64 {
+	s := SingularValues(a)
+	if len(s) == 0 {
+		return 0
+	}
+	return s[0]
+}
+
+// MaxSingularValuePower estimates the largest singular value of a using
+// power iteration on AᴴA. v0 (length a.Cols) provides a warm start and is
+// overwritten with the converged right singular vector; pass nil for a
+// default start. This is the fast path used by frequency sweeps, where the
+// singular vector changes slowly from one frequency to the next.
+func MaxSingularValuePower(a *CMatrix, v0 []complex128, tol float64, maxIter int) (float64, []complex128) {
+	n := a.Cols
+	if n == 0 {
+		return 0, nil
+	}
+	v := v0
+	if v == nil || len(v) != n {
+		v = make([]complex128, n)
+		for i := range v {
+			// Deterministic, not axis-aligned start.
+			v[i] = complex(1+0.01*float64(i%7), 0.005*float64(i%5))
+		}
+	}
+	normalize := func(x []complex128) float64 {
+		nn := CNorm2(x)
+		if nn == 0 {
+			return 0
+		}
+		inv := complex(1/nn, 0)
+		for i := range x {
+			x[i] *= inv
+		}
+		return nn
+	}
+	normalize(v)
+	sigma := 0.0
+	for it := 0; it < maxIter; it++ {
+		av := a.MulVec(v)
+		w := a.MulVecH(av) // AᴴA v
+		lambda := normalize(w)
+		copy(v, w)
+		newSigma := math.Sqrt(lambda)
+		if math.Abs(newSigma-sigma) <= tol*math.Max(1, newSigma) {
+			sigma = newSigma
+			break
+		}
+		sigma = newSigma
+	}
+	return sigma, v
+}
+
+// SingularValuesOnly computes the singular values of a complex matrix by
+// one-sided Jacobi without accumulating the singular vectors — roughly a
+// third cheaper than CSVDecompose. Used by passivity sweeps, which need
+// exact σ_max at many frequencies (iterative estimators stall on the
+// near-degenerate singular clusters that PDN scattering matrices exhibit
+// at the passivity boundary) but no vectors.
+func SingularValuesOnly(a *CMatrix) []float64 {
+	w := a
+	if a.Rows < a.Cols {
+		w = a.H()
+	} else {
+		w = a.Clone()
+	}
+	m, n := w.Rows, w.Cols
+	const tol = 1e-14
+	for sweep := 0; sweep < 60; sweep++ {
+		off := 0
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				var app, aqq float64
+				var apq complex128
+				for i := 0; i < m; i++ {
+					cp := w.At(i, p)
+					cq := w.At(i, q)
+					app += real(cp)*real(cp) + imag(cp)*imag(cp)
+					aqq += real(cq)*real(cq) + imag(cq)*imag(cq)
+					apq += cmplx.Conj(cp) * cq
+				}
+				mag := cmplx.Abs(apq)
+				if mag <= tol*math.Sqrt(app*aqq) || mag == 0 {
+					continue
+				}
+				off++
+				alpha := apq / complex(mag, 0)
+				tau := (aqq - app) / (2 * mag)
+				var t float64
+				if tau >= 0 {
+					t = 1 / (tau + math.Sqrt(1+tau*tau))
+				} else {
+					t = -1 / (-tau + math.Sqrt(1+tau*tau))
+				}
+				cs := 1 / math.Sqrt(1+t*t)
+				sn := cs * t
+				ca := complex(sn, 0) * cmplx.Conj(alpha)
+				cb := complex(sn, 0) * alpha
+				ccs := complex(cs, 0)
+				for i := 0; i < m; i++ {
+					cp := w.At(i, p)
+					cq := w.At(i, q)
+					w.Set(i, p, ccs*cp-ca*cq)
+					w.Set(i, q, cb*cp+ccs*cq)
+				}
+			}
+		}
+		if off == 0 {
+			break
+		}
+	}
+	s := make([]float64, n)
+	for j := 0; j < n; j++ {
+		norm := 0.0
+		for i := 0; i < m; i++ {
+			c := w.At(i, j)
+			norm += real(c)*real(c) + imag(c)*imag(c)
+		}
+		s[j] = math.Sqrt(norm)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(s)))
+	return s
+}
+
+// MaxSingularValueSubspace estimates the largest singular value of a by
+// block (subspace) power iteration on AᴴA with block size k. Unlike the
+// single-vector variant, it converges reliably when the top singular
+// values are nearly degenerate — the situation at shallow passivity
+// violations, where σ₁ ≈ σ₂ ≈ 1. v0 (n×k, column-major blocks of length
+// a.Cols) warm-starts the subspace and is overwritten; pass nil to start
+// fresh.
+func MaxSingularValueSubspace(a *CMatrix, v0 [][]complex128, k int, tol float64, maxIter int) (float64, [][]complex128) {
+	n := a.Cols
+	if n == 0 {
+		return 0, nil
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	v := v0
+	if len(v) != k {
+		v = make([][]complex128, k)
+		for j := range v {
+			col := make([]complex128, n)
+			for i := range col {
+				// Deterministic, linearly independent starts.
+				col[i] = complex(1+0.013*float64((i*(j+3))%11), 0.007*float64((i+j*5)%7))
+			}
+			v[j] = col
+		}
+	}
+	orthonormalize(v)
+	sigma := 0.0
+	stable := 0
+	for it := 0; it < maxIter; it++ {
+		// W_j = AᴴA v_j.
+		lambdaMax := 0.0
+		for j := range v {
+			av := a.MulVec(v[j])
+			w := a.MulVecH(av)
+			// Rayleigh quotient before overwriting.
+			if l := real(CDot(v[j], w)); l > lambdaMax {
+				lambdaMax = l
+			}
+			v[j] = w
+		}
+		orthonormalize(v)
+		newSigma := math.Sqrt(math.Max(lambdaMax, 0))
+		if math.Abs(newSigma-sigma) <= tol*math.Max(1, newSigma) {
+			stable++
+			if stable >= 2 {
+				sigma = newSigma
+				break
+			}
+		} else {
+			stable = 0
+		}
+		sigma = newSigma
+	}
+	return sigma, v
+}
+
+// orthonormalize applies modified Gram–Schmidt to the columns in place,
+// re-randomizing (deterministically) any column that collapses.
+func orthonormalize(v [][]complex128) {
+	for j := range v {
+		for i := 0; i < j; i++ {
+			c := CDot(v[i], v[j])
+			for t := range v[j] {
+				v[j][t] -= c * v[i][t]
+			}
+		}
+		nrm := CNorm2(v[j])
+		if nrm < 1e-300 {
+			for t := range v[j] {
+				v[j][t] = complex(float64((t*7+j*3)%13)-6, float64((t*5+j)%11)-5)
+			}
+			for i := 0; i < j; i++ {
+				c := CDot(v[i], v[j])
+				for t := range v[j] {
+					v[j][t] -= c * v[i][t]
+				}
+			}
+			nrm = CNorm2(v[j])
+		}
+		inv := complex(1/nrm, 0)
+		for t := range v[j] {
+			v[j][t] *= inv
+		}
+	}
+}
+
+// SVD holds a thin real singular value decomposition A = U·diag(S)·Vᵀ.
+type SVD struct {
+	U *Matrix
+	S []float64
+	V *Matrix
+}
+
+// SVDecompose computes the thin SVD of a real matrix by lifting to the
+// complex one-sided Jacobi kernel. All intermediate rotations stay real in
+// exact arithmetic; residual imaginary parts are discarded.
+func SVDecompose(a *Matrix) *SVD {
+	cs := CSVDecompose(RealToComplex(a))
+	return &SVD{U: cs.U.Real(), S: cs.S, V: cs.V.Real()}
+}

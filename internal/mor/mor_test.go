@@ -1,0 +1,270 @@
+package mor
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/rational"
+	"repro/internal/statespace"
+)
+
+// randStableSystem builds a random stable MIMO system with well-damped
+// block-diagonal dynamics.
+func randStableSystem(rng *rand.Rand, n, p int) *statespace.System {
+	a := mat.NewMatrix(n, n)
+	for k := 0; k < n; {
+		if k+1 < n && rng.Float64() < 0.6 {
+			al := -0.5 - 2*rng.Float64()
+			be := 0.5 + 3*rng.Float64()
+			a.Set(k, k, al)
+			a.Set(k, k+1, be)
+			a.Set(k+1, k, -be)
+			a.Set(k+1, k+1, al)
+			k += 2
+			continue
+		}
+		a.Set(k, k, -0.3-2*rng.Float64())
+		k++
+	}
+	b := mat.NewMatrix(n, p)
+	c := mat.NewMatrix(p, n)
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	for i := range c.Data {
+		c.Data[i] = rng.NormFloat64()
+	}
+	d := mat.NewMatrix(p, p)
+	for i := 0; i < p; i++ {
+		d.Set(i, i, 0.1*rng.NormFloat64())
+	}
+	return statespace.MustNew(a, b, c, d)
+}
+
+// maxTransferError sweeps ‖G(jω)−Gr(jω)‖_F over a grid (a proxy for the
+// H∞ distance on well-damped systems).
+func maxTransferError(t *testing.T, g, gr *statespace.System, omegas []float64) float64 {
+	t.Helper()
+	worst := 0.0
+	for _, w := range omegas {
+		h1, err := g.Eval(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h2, err := gr.Eval(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := h1.Sub(h2).FrobNorm(); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func sweepOmegas() []float64 {
+	var omegas []float64
+	for i := 0; i <= 200; i++ {
+		omegas = append(omegas, math.Pow(10, -2+4*float64(i)/200))
+	}
+	return append(omegas, 0)
+}
+
+func TestBalancedTruncationErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 5; trial++ {
+		sys := randStableSystem(rng, 14, 2)
+		for _, r := range []int{4, 8, 12} {
+			red, err := BalancedTruncation(sys, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			errH := maxTransferError(t, sys, red.System, sweepOmegas())
+			// The Frobenius norm exceeds the spectral norm by at most √p,
+			// so allow that factor plus numerical headroom.
+			if errH > red.Bound*math.Sqrt(2)*1.01+1e-9 {
+				t.Fatalf("trial %d r=%d: error %g exceeds bound %g", trial, r, errH, red.Bound)
+			}
+		}
+	}
+}
+
+func TestBalancedTruncationFullOrderIsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	sys := randStableSystem(rng, 10, 2)
+	red, err := BalancedTruncation(sys, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.Bound > 1e-10 {
+		t.Fatalf("full-order bound should vanish, got %g", red.Bound)
+	}
+	if e := maxTransferError(t, sys, red.System, sweepOmegas()); e > 1e-7 {
+		t.Fatalf("full-order reduction changed the transfer function by %g", e)
+	}
+}
+
+func TestBalancedSystemGramiansAreDiagonalEqual(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	sys := randStableSystem(rng, 8, 2)
+	red, err := BalancedTruncation(sys, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := red.System.Gramian()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := mat.ObservabilityGramian(red.System.A, red.System.C)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if math.Abs(p.At(i, i)-red.Hankel[i]) > 1e-6*(1+red.Hankel[i]) {
+			t.Fatalf("P[%d,%d]=%g want Hankel %g", i, i, p.At(i, i), red.Hankel[i])
+		}
+		if math.Abs(q.At(i, i)-red.Hankel[i]) > 1e-6*(1+red.Hankel[i]) {
+			t.Fatalf("Q[%d,%d]=%g want Hankel %g", i, i, q.At(i, i), red.Hankel[i])
+		}
+		for j := 0; j < 8; j++ {
+			if i == j {
+				continue
+			}
+			if math.Abs(p.At(i, j)) > 1e-6*(1+red.Hankel[0]) || math.Abs(q.At(i, j)) > 1e-6*(1+red.Hankel[0]) {
+				t.Fatalf("balanced Gramians not diagonal at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestHankelValuesDescendAndPositive(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	sys := randStableSystem(rng, 12, 3)
+	red, err := BalancedTruncation(sys, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(red.Hankel); i++ {
+		if red.Hankel[i] > red.Hankel[i-1]*(1+1e-12) {
+			t.Fatalf("Hankel values not descending at %d", i)
+		}
+		if red.Hankel[i] < 0 {
+			t.Fatalf("negative Hankel value at %d", i)
+		}
+	}
+}
+
+func TestBalancedTruncationRejectsBadInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	sys := randStableSystem(rng, 6, 1)
+	if _, err := BalancedTruncation(sys, 0); err == nil {
+		t.Fatal("order 0 must fail")
+	}
+	if _, err := BalancedTruncation(sys, 7); err == nil {
+		t.Fatal("order beyond system order must fail")
+	}
+	unstable := statespace.MustNew(
+		mat.NewMatrixFrom([][]float64{{1}}),
+		mat.NewMatrixFrom([][]float64{{1}}),
+		mat.NewMatrixFrom([][]float64{{1}}),
+		mat.NewMatrixFrom([][]float64{{0}}),
+	)
+	if _, err := BalancedTruncation(unstable, 1); err == nil {
+		t.Fatal("unstable system must fail")
+	}
+}
+
+func TestToRationalRoundTrip(t *testing.T) {
+	// Build a pole-residue model, realize it, convert back: transfer
+	// functions and pole sets must agree. The model is SISO because the
+	// MIMO common-pole realization repeats every pole once per port, which
+	// ToRational (simple poles only) rejects by design — reduced systems,
+	// its actual input, have generically simple spectra.
+	poles := []complex128{
+		complex(-1, 4), complex(-1, -4),
+		complex(-0.5, 0),
+		complex(-2, 9), complex(-2, -9),
+	}
+	rng := rand.New(rand.NewSource(36))
+	p := 1
+	var residues []*mat.CMatrix
+	for k := 0; k < len(poles); {
+		r := mat.NewCMatrix(p, p)
+		for i := range r.Data {
+			r.Data[i] = complex(rng.NormFloat64(), 0)
+		}
+		if imag(poles[k]) == 0 {
+			residues = append(residues, r)
+			k++
+			continue
+		}
+		rc := mat.NewCMatrix(p, p)
+		for i := range r.Data {
+			r.Data[i] += complex(0, rng.NormFloat64())
+			rc.Data[i] = cmplx.Conj(r.Data[i])
+		}
+		residues = append(residues, r, rc)
+		k += 2
+	}
+	d := mat.NewMatrix(p, p)
+	d.Set(0, 0, 0.3)
+	model, err := rational.New(poles, residues, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	back, err := ToRational(model.Realization())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumPoles() != len(poles) {
+		t.Fatalf("pole count %d want %d", back.NumPoles(), len(poles))
+	}
+	for _, w := range []float64{0, 0.5, 1, 3, 4, 7, 20} {
+		h1 := model.Eval(w)
+		h2 := back.Eval(w)
+		if !h1.Equalish(h2, 1e-7*(1+h1.MaxAbs())) {
+			t.Fatalf("ω=%g: transfer mismatch", w)
+		}
+	}
+}
+
+func TestReduceThenToRationalKeepsAccuracy(t *testing.T) {
+	// End-to-end: random stable 12-state system → BT to 8 → pole-residue;
+	// the rational form must match the reduced state space exactly.
+	rng := rand.New(rand.NewSource(37))
+	sys := randStableSystem(rng, 12, 2)
+	red, err := BalancedTruncation(sys, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := ToRational(red.System)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range sweepOmegas()[:50] {
+		h1, err := red.System.Eval(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h2 := model.Eval(w)
+		if !h1.Equalish(h2, 1e-6*(1+h1.MaxAbs())) {
+			t.Fatalf("ω=%g: rational form differs from reduced system", w)
+		}
+	}
+	if !model.IsStable(0) {
+		t.Fatal("reduction of a stable system must stay stable")
+	}
+}
+
+func TestToRationalRejectsNonSquare(t *testing.T) {
+	rng := rand.New(rand.NewSource(38))
+	sys := randStableSystem(rng, 4, 1)
+	bad := statespace.MustNew(sys.A, sys.B, mat.NewMatrix(2, 4), mat.NewMatrix(2, 1))
+	if _, err := ToRational(bad); err == nil {
+		t.Fatal("non-square system must fail")
+	}
+}

@@ -1,0 +1,67 @@
+// Package parallel provides a small deterministic fork-join helper for the
+// embarrassingly parallel frequency sweeps of the library (singular-value
+// sweeps, target-impedance and sensitivity evaluations). Results are
+// bitwise independent of the worker count because every index writes only
+// its own output slot; cf. the parallel Vector Fitting discussion in
+// Chinea & Grivet-Talocia (ref. [11] of the paper).
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// For runs fn(i) for every i in [0, n), distributing indices over up to
+// workers goroutines. workers ≤ 0 selects GOMAXPROCS; a single worker (or
+// tiny n) runs inline. fn must be safe to call concurrently for distinct
+// indices.
+func For(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForErr is For with error collection: it returns the error of the lowest
+// index whose fn failed (or nil). All indices are attempted regardless.
+func ForErr(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	For(workers, n, func(i int) { errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

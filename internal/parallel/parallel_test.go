@@ -1,0 +1,72 @@
+package parallel
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForVisitsEachIndexOnce(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 2, 7, 64} {
+		n := 1000
+		counts := make([]int64, n)
+		For(workers, n, func(i int) { atomic.AddInt64(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForZeroAndNegativeN(t *testing.T) {
+	called := false
+	For(4, 0, func(int) { called = true })
+	For(4, -3, func(int) { called = true })
+	if called {
+		t.Fatal("fn must not run for n ≤ 0")
+	}
+}
+
+func TestForDeterministicResult(t *testing.T) {
+	f := func(seed uint8) bool {
+		n := 257
+		a := make([]float64, n)
+		b := make([]float64, n)
+		work := func(out []float64) func(int) {
+			return func(i int) { out[i] = float64(i*i+int(seed)) / 3.0 }
+		}
+		For(1, n, work(a))
+		For(8, n, work(b))
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForErrReturnsLowestIndexError(t *testing.T) {
+	e7 := errors.New("seven")
+	e3 := errors.New("three")
+	err := ForErr(4, 10, func(i int) error {
+		switch i {
+		case 7:
+			return e7
+		case 3:
+			return e3
+		}
+		return nil
+	})
+	if err != e3 {
+		t.Fatalf("got %v want error of index 3", err)
+	}
+	if err := ForErr(4, 10, func(int) error { return nil }); err != nil {
+		t.Fatalf("unexpected error %v", err)
+	}
+}

@@ -1,0 +1,363 @@
+package passivity
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+	"repro/internal/parallel"
+	"repro/internal/rational"
+)
+
+// Method selects the passivity detection algorithm.
+type Method int
+
+const (
+	// MethodAuto uses the Hamiltonian test for small state dimensions and
+	// the adaptive sweep otherwise.
+	MethodAuto Method = iota
+	// MethodHamiltonian always uses the Hamiltonian eigenvalue test
+	// (exact, O((2nP)³)).
+	MethodHamiltonian
+	// MethodSweep always uses the adaptive singular-value frequency sweep.
+	MethodSweep
+)
+
+// CheckOptions configures a passivity check.
+type CheckOptions struct {
+	Method Method
+	// OmegaMin/OmegaMax bound the sweep band (rad/s). Zero values default
+	// to one decade beyond the pole imaginary-part range.
+	OmegaMin, OmegaMax float64
+	// SweepPoints is the log-grid density of the sweep (default 1000).
+	SweepPoints int
+	// HamiltonianMaxDim is the largest Hamiltonian dimension (2·n·P) that
+	// MethodAuto still treats exactly (default 400).
+	HamiltonianMaxDim int
+	// Tol is the passivity slack: σ ≤ 1+Tol counts as passive
+	// (default 1e-9).
+	Tol float64
+	// Workers bounds the goroutines used by the sweep grid evaluation
+	// (0 = GOMAXPROCS, 1 = serial). Results are independent of the value.
+	Workers int
+}
+
+// Violation is one frequency band where a singular value exceeds one.
+type Violation struct {
+	OmegaPeak float64 // location of the in-band maximum (rad/s)
+	SigmaPeak float64 // the maximum singular value there
+	OmegaLo   float64 // lower band edge (0 when the band starts at DC)
+	OmegaHi   float64 // upper band edge (+Inf when unbounded)
+}
+
+// Report is the outcome of a passivity check.
+type Report struct {
+	Passive    bool
+	MaxSigma   float64 // worst singular value seen
+	MaxOmega   float64 // where it occurs
+	Violations []Violation
+	Crossings  []float64 // unit-crossing frequencies (Hamiltonian method)
+	DSigma     float64   // σmax(D): asymptotic passivity
+	Method     string
+}
+
+func (o *CheckOptions) defaults(model *rational.Model) {
+	if o.SweepPoints <= 0 {
+		o.SweepPoints = 1000
+	}
+	if o.HamiltonianMaxDim <= 0 {
+		o.HamiltonianMaxDim = 400
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-9
+	}
+	if o.OmegaMin <= 0 || o.OmegaMax <= 0 {
+		lo, hi := math.Inf(1), 0.0
+		for _, p := range model.Poles {
+			a := math.Hypot(real(p), imag(p))
+			if a < lo {
+				lo = a
+			}
+			if a > hi {
+				hi = a
+			}
+		}
+		if math.IsInf(lo, 1) || hi == 0 {
+			lo, hi = 1, 10
+		}
+		if o.OmegaMin <= 0 {
+			o.OmegaMin = lo / 10
+		}
+		if o.OmegaMax <= 0 {
+			o.OmegaMax = hi * 10
+		}
+	}
+}
+
+// Check assesses the scattering passivity of a pole-residue model.
+func Check(model *rational.Model, opts CheckOptions) (*Report, error) {
+	opts.defaults(model)
+	dSigma := mat.MaxSingularValue(mat.RealToComplex(model.D))
+	method := opts.Method
+	if method == MethodAuto {
+		if 2*model.NumPoles()*model.Ports() <= opts.HamiltonianMaxDim {
+			method = MethodHamiltonian
+		} else {
+			method = MethodSweep
+		}
+	}
+	var rep *Report
+	var err error
+	switch method {
+	case MethodHamiltonian:
+		rep, err = checkHamiltonian(model, opts)
+	case MethodSweep:
+		rep, err = checkSweep(model, opts)
+	default:
+		return nil, fmt.Errorf("passivity: unknown method %d", opts.Method)
+	}
+	if err != nil {
+		return nil, err
+	}
+	rep.DSigma = dSigma
+	if dSigma > 1+opts.Tol {
+		rep.Passive = false
+	}
+	return rep, nil
+}
+
+// sigmaMax evaluates the largest singular value of S(jω) exactly via
+// one-sided Jacobi. Iterative estimators (power/subspace iteration) are
+// NOT safe here: PDN scattering matrices carry large clusters of singular
+// values within 1e-4 of each other right at the passivity boundary, where
+// any underestimate flips the verdict. The warm parameter is retained for
+// call-site compatibility and passed through untouched.
+func sigmaMax(model *rational.Model, omega float64, warm [][]complex128) (float64, [][]complex128) {
+	s := model.Eval(omega)
+	sv := mat.SingularValuesOnly(s)
+	if len(sv) == 0 {
+		return 0, warm
+	}
+	return sv[0], warm
+}
+
+func checkHamiltonian(model *rational.Model, opts CheckOptions) (*Report, error) {
+	crossings, err := HamiltonianCrossings(model)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Method: "hamiltonian", Crossings: crossings, Passive: true}
+	// Candidate intervals between crossings (plus leading/trailing).
+	edges := append([]float64{0}, crossings...)
+	edges = append(edges, math.Inf(1))
+	var warm [][]complex128
+	for i := 0; i+1 < len(edges); i++ {
+		lo, hi := edges[i], edges[i+1]
+		test := testPoint(lo, hi)
+		var sv float64
+		sv, warm = sigmaMax(model, test, warm)
+		if sv > rep.MaxSigma {
+			rep.MaxSigma, rep.MaxOmega = sv, test
+		}
+		if sv > 1+opts.Tol {
+			peakW, peakS := refinePeak(model, lo, hi, test)
+			if peakS > rep.MaxSigma {
+				rep.MaxSigma, rep.MaxOmega = peakS, peakW
+			}
+			rep.Violations = append(rep.Violations, Violation{
+				OmegaPeak: peakW, SigmaPeak: peakS, OmegaLo: lo, OmegaHi: hi,
+			})
+			rep.Passive = false
+		}
+	}
+	return rep, nil
+}
+
+// testPoint picks a representative frequency inside (lo, hi).
+func testPoint(lo, hi float64) float64 {
+	switch {
+	case lo == 0 && math.IsInf(hi, 1):
+		return 1
+	case lo == 0:
+		return hi / 2
+	case math.IsInf(hi, 1):
+		return lo * 2
+	default:
+		return math.Sqrt(lo * hi)
+	}
+}
+
+// refinePeak locates the maximum of σ_max(jω) within a violation band by
+// golden-section search on a bounded bracket.
+func refinePeak(model *rational.Model, lo, hi, seed float64) (float64, float64) {
+	a, b := lo, hi
+	if a == 0 {
+		a = seed / 100
+	}
+	if math.IsInf(b, 1) {
+		b = seed * 100
+	}
+	// Golden-section on log-ω for scale invariance.
+	la, lb := math.Log(a), math.Log(b)
+	const phi = 0.6180339887498949
+	var warm [][]complex128
+	f := func(lw float64) float64 {
+		sv, w := sigmaMax(model, math.Exp(lw), warm)
+		warm = w
+		return sv
+	}
+	x1 := lb - phi*(lb-la)
+	x2 := la + phi*(lb-la)
+	f1, f2 := f(x1), f(x2)
+	for it := 0; it < 60 && lb-la > 1e-10; it++ {
+		if f1 < f2 {
+			la, x1, f1 = x1, x2, f2
+			x2 = la + phi*(lb-la)
+			f2 = f(x2)
+		} else {
+			lb, x2, f2 = x2, x1, f1
+			x1 = lb - phi*(lb-la)
+			f1 = f(x1)
+		}
+	}
+	lw := (la + lb) / 2
+	sv, _ := sigmaMax(model, math.Exp(lw), nil)
+	return math.Exp(lw), sv
+}
+
+func checkSweep(model *rational.Model, opts CheckOptions) (*Report, error) {
+	rep := &Report{Method: "sweep", Passive: true}
+	n := opts.SweepPoints
+	grid := make([]float64, 0, n+1+3*len(model.Poles))
+	grid = append(grid, 0)
+	for i := 0; i < n; i++ {
+		t := float64(i) / float64(n-1)
+		grid = append(grid, opts.OmegaMin*math.Pow(opts.OmegaMax/opts.OmegaMin, t))
+	}
+	// Narrow resonance peaks can slip between log-grid points; seed the
+	// grid with every pole's resonance frequency (and neighbours scaled by
+	// its damping) where σ maxima live.
+	for _, p := range model.Poles {
+		wr := math.Abs(imag(p))
+		if wr == 0 {
+			wr = math.Abs(real(p))
+		}
+		if wr <= 0 {
+			continue
+		}
+		q := math.Abs(real(p)) / (1 + wr) // relative half-width
+		grid = append(grid, wr, wr*(1+q))
+		// Heavily damped poles have q ≥ 1; a nonpositive lower neighbour
+		// would poison the log-domain peak refinement downstream.
+		if lo := wr * (1 - q); lo > 0 {
+			grid = append(grid, lo)
+		}
+	}
+	sortFloats(grid)
+	sv := make([]float64, len(grid))
+	parallel.For(opts.Workers, len(grid), func(i int) {
+		sv[i], _ = sigmaMax(model, grid[i], nil)
+	})
+	for i, w := range grid {
+		if sv[i] > rep.MaxSigma {
+			rep.MaxSigma, rep.MaxOmega = sv[i], w
+		}
+	}
+	// Refine every local maximum that comes close to the limit: a peak
+	// sampled slightly off-crest can hide a violation.
+	for i := 1; i+1 < len(grid); i++ {
+		if sv[i] < 1-5e-3 || sv[i] <= sv[i-1] || sv[i] <= sv[i+1] || sv[i] > 1+opts.Tol {
+			continue
+		}
+		lo := grid[i-1]
+		if lo <= 0 {
+			lo = grid[i] / 10
+		}
+		pw, ps := refinePeak(model, lo, grid[i+1], grid[i])
+		if ps > sv[i] {
+			// Record the sharpened value so the violation scan sees it.
+			sv[i] = ps
+			grid[i] = pw
+			if ps > rep.MaxSigma {
+				rep.MaxSigma, rep.MaxOmega = ps, pw
+			}
+		}
+	}
+	// Contiguous runs above 1 become violation bands.
+	limit := 1 + opts.Tol
+	i := 0
+	for i < len(grid) {
+		if sv[i] <= limit {
+			i++
+			continue
+		}
+		j := i
+		for j < len(grid) && sv[j] > limit {
+			j++
+		}
+		// Band edges by linear interpolation on σ(ω).
+		lo := 0.0
+		if i > 0 {
+			lo = interpCrossing(grid[i-1], sv[i-1], grid[i], sv[i])
+		}
+		hi := math.Inf(1)
+		if j < len(grid) {
+			hi = interpCrossing(grid[j-1], sv[j-1], grid[j], sv[j])
+		}
+		// Peak within the run, refined locally.
+		peakIdx := i
+		for k := i; k < j; k++ {
+			if sv[k] > sv[peakIdx] {
+				peakIdx = k
+			}
+		}
+		bl := grid[maxInt(peakIdx-1, 0)]
+		bh := grid[minInt(peakIdx+1, len(grid)-1)]
+		if bl <= 0 {
+			bl = grid[1] / 10
+		}
+		peakW, peakS := refinePeak(model, bl, bh, grid[peakIdx])
+		if peakS < sv[peakIdx] {
+			peakW, peakS = grid[peakIdx], sv[peakIdx]
+		}
+		if peakS > rep.MaxSigma {
+			rep.MaxSigma, rep.MaxOmega = peakS, peakW
+		}
+		rep.Violations = append(rep.Violations, Violation{
+			OmegaPeak: peakW, SigmaPeak: peakS, OmegaLo: lo, OmegaHi: hi,
+		})
+		rep.Passive = false
+		i = j
+	}
+	return rep, nil
+}
+
+// interpCrossing linearly interpolates the ω where σ crosses 1 between two
+// grid points.
+func interpCrossing(w0, s0, w1, s1 float64) float64 {
+	if s1 == s0 {
+		return (w0 + w1) / 2
+	}
+	t := (1 - s0) / (s1 - s0)
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	return w0 + t*(w1-w0)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,344 @@
+package passivity
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/mat"
+	"repro/internal/qp"
+	"repro/internal/rational"
+)
+
+// EnforceOptions configures the iterative perturbation loop (paper eq. 9).
+type EnforceOptions struct {
+	// Check configures the violation detection used each iteration.
+	Check CheckOptions
+	// MaxIterations bounds the outer loop (default 40).
+	MaxIterations int
+	// Margin pushes constrained singular values to σ ≤ 1 − Margin
+	// (default 1e-4) so that the linearization error does not leave
+	// residual violations.
+	Margin float64
+	// GuardBand adds preventive constraints on singular values that are
+	// still below one but within GuardBand of it (default 2e-3), damping
+	// the whack-a-mole effect of violations reappearing next to freshly
+	// fixed bands.
+	GuardBand float64
+	// CostGramian is the n×n SPD matrix G defining the perturbation norm
+	// ‖δS‖² = Σ_ij δc_ij·G·δc_ijᵀ. Nil selects the standard L2 cost, the
+	// controllability Gramian of the pole basis (paper eq. 10). The
+	// sensitivity-weighted scheme passes P^Ξ,11 (paper eq. 20).
+	CostGramian *mat.Matrix
+	// MaxBandSubdivision adds up to this many interior constraint
+	// frequencies for wide violation bands (default 3).
+	MaxBandSubdivision int
+	// ClampD allows a one-time singular-value clip of the direct-coupling
+	// matrix D to 1−Margin when the fitted model violates passivity
+	// asymptotically (σmax(D) ≥ 1). Residue perturbation cannot repair D,
+	// so without this flag such models are rejected.
+	ClampD bool
+}
+
+// IterationStats records one enforcement sweep.
+type IterationStats struct {
+	MaxSigma    float64 // worst σ before this sweep's perturbation
+	Constraints int     // number of linearized constraints in the QP
+	DeltaNorm   float64 // Frobenius norm of the applied δC
+}
+
+// EnforceReport summarizes an enforcement run.
+type EnforceReport struct {
+	Passive    bool
+	Iterations int
+	History    []IterationStats
+	Final      *Report // the last passivity check
+	// DClamped reports that the direct-coupling matrix was clipped to the
+	// passivity boundary before the perturbation loop (see
+	// EnforceOptions.ClampD).
+	DClamped bool
+}
+
+// ErrEnforceFailed is wrapped when the loop exhausts its iterations.
+var ErrEnforceFailed = errors.New("passivity: enforcement did not converge")
+
+// constraint is one linearized singular-value constraint.
+type constraint struct {
+	omega float64
+	sigma float64
+	u, v  []complex128 // singular vectors
+	ktil  []complex128 // basis vector k̃(ω)
+	rk    []float64    // Re k̃
+	ik    []float64    // Im k̃
+	wr    []float64    // G⁻¹·Re k̃
+	wi    []float64    // G⁻¹·Im k̃
+}
+
+// Enforce removes passivity violations of the model in place by the
+// iterative residue-perturbation scheme, minimizing the Gramian-weighted
+// perturbation norm subject to σ_i(jω_ν) + δσ_i ≤ 1 − Margin. The model's
+// poles and D are untouched; only residues move.
+func Enforce(model *rational.Model, opts EnforceOptions) (*EnforceReport, error) {
+	if opts.MaxIterations <= 0 {
+		opts.MaxIterations = 40
+	}
+	if opts.Margin <= 0 {
+		opts.Margin = 1e-4
+	}
+	if opts.GuardBand <= 0 {
+		opts.GuardBand = 2e-3
+	}
+	if opts.MaxBandSubdivision <= 0 {
+		opts.MaxBandSubdivision = 3
+	}
+	rep := &EnforceReport{}
+	dSigma := mat.MaxSingularValue(mat.RealToComplex(model.D))
+	if dSigma >= 1-opts.Margin {
+		if !opts.ClampD {
+			return nil, fmt.Errorf("%w (σmax(D)=%g)", ErrAsymptoticViolation, dSigma)
+		}
+		clampDMatrix(model, 1-2*opts.Margin)
+		rep.DClamped = true
+	}
+	gram := opts.CostGramian
+	if gram == nil {
+		var err error
+		gram, err = StandardGramian(model)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if gram.Rows != model.NumPoles() {
+		return nil, fmt.Errorf("passivity: cost Gramian is %d×%d, want %d", gram.Rows, gram.Cols, model.NumPoles())
+	}
+	chol, _, err := mat.CholFactorRegularized(gram)
+	if err != nil {
+		return nil, fmt.Errorf("passivity: cost Gramian not positive definite: %w", err)
+	}
+
+	for iter := 0; iter < opts.MaxIterations; iter++ {
+		chk, err := Check(model, opts.Check)
+		if err != nil {
+			return nil, err
+		}
+		rep.Final = chk
+		if chk.Passive {
+			rep.Passive = true
+			rep.Iterations = iter
+			return rep, nil
+		}
+		cons, err := buildConstraints(model, chk, opts, chol)
+		if err != nil {
+			return nil, err
+		}
+		if len(cons) == 0 {
+			return rep, fmt.Errorf("%w: violations present but no constraints generated", ErrEnforceFailed)
+		}
+		delta, err := solvePerturbation(model, cons, opts)
+		if err != nil {
+			return nil, fmt.Errorf("passivity: iteration %d: %w", iter, err)
+		}
+		rep.History = append(rep.History, IterationStats{
+			MaxSigma:    chk.MaxSigma,
+			Constraints: len(cons),
+			DeltaNorm:   delta,
+		})
+		rep.Iterations = iter + 1
+	}
+	chk, err := Check(model, opts.Check)
+	if err != nil {
+		return nil, err
+	}
+	rep.Final = chk
+	rep.Passive = chk.Passive
+	if !rep.Passive {
+		return rep, fmt.Errorf("%w after %d iterations (σmax=%g)", ErrEnforceFailed, opts.MaxIterations, chk.MaxSigma)
+	}
+	return rep, nil
+}
+
+// StandardGramian returns the controllability Gramian P₁ of the common-pole
+// basis (A₁, b₁): the standard L2 perturbation cost of eq. (10) decomposes
+// as tr(δC·P·δCᵀ) = Σ_ij δc_ij·P₁·δc_ijᵀ because A = I_P ⊗ A₁.
+func StandardGramian(model *rational.Model) (*mat.Matrix, error) {
+	a1, b1 := model.BasisRealization()
+	n := len(b1)
+	b := mat.NewMatrix(n, 1)
+	for i, v := range b1 {
+		b.Set(i, 0, v)
+	}
+	return mat.ControllabilityGramian(a1, b)
+}
+
+// buildConstraints collects linearized singular-value constraints at the
+// violation peaks (plus interior points of wide bands), including
+// preventive constraints on singular values within the guard band.
+func buildConstraints(model *rational.Model, chk *Report, opts EnforceOptions, chol *mat.Cholesky) ([]constraint, error) {
+	freqs := constraintFrequencies(chk, opts)
+	var cons []constraint
+	for _, w := range freqs {
+		s := model.Eval(w)
+		svd := mat.CSVDecompose(s)
+		ktil := model.EvalBasis(w)
+		n := len(ktil)
+		for i, sigma := range svd.S {
+			if sigma <= 1-opts.GuardBand {
+				break // sorted descending
+			}
+			c := constraint{
+				omega: w,
+				sigma: sigma,
+				u:     svd.U.Col(i),
+				v:     svd.V.Col(i),
+				ktil:  ktil,
+				rk:    make([]float64, n),
+				ik:    make([]float64, n),
+			}
+			for k, z := range ktil {
+				c.rk[k] = real(z)
+				c.ik[k] = imag(z)
+			}
+			c.wr = chol.SolveVec(c.rk)
+			c.wi = chol.SolveVec(c.ik)
+			cons = append(cons, c)
+		}
+	}
+	return cons, nil
+}
+
+// constraintFrequencies lists the frequencies to constrain this sweep.
+func constraintFrequencies(chk *Report, opts EnforceOptions) []float64 {
+	var freqs []float64
+	for _, v := range chk.Violations {
+		freqs = append(freqs, v.OmegaPeak)
+		lo, hi := v.OmegaLo, v.OmegaHi
+		if lo > 0 && !math.IsInf(hi, 1) && hi > lo*1.05 {
+			// Wide band: sprinkle interior points geometrically.
+			k := opts.MaxBandSubdivision
+			for i := 1; i <= k; i++ {
+				t := float64(i) / float64(k+1)
+				w := lo * math.Pow(hi/lo, t)
+				if math.Abs(w-v.OmegaPeak) > 1e-6*v.OmegaPeak {
+					freqs = append(freqs, w)
+				}
+			}
+		}
+	}
+	sortFloats(freqs)
+	// Deduplicate near-identical frequencies.
+	out := freqs[:0]
+	for i, w := range freqs {
+		if i == 0 || w > out[len(out)-1]*(1+1e-9) {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// solvePerturbation assembles the dual QP via the Kronecker structure of
+// the common-pole realization, solves it, and applies δC to the model. It
+// returns ‖δC‖_F.
+//
+// Each constraint row acts on entry (i,j) as f_ij = Reα_ij·Re k̃ − Imα_ij·Im k̃
+// with α_ij = conj(u_i)·v_j, so rows live in span{Re k̃, Im k̃} and the dual
+// matrix M_ab = Σ_ij f_a,ijᵀ G⁻¹ f_b,ij collapses to a 2×2 kernel combined
+// with closed-form Σ_ij α-products:
+//
+//	Σ_ij α^a·conj(α^b) = (u_aᴴu_b)·conj(v_aᴴv_b) =: β₁
+//	Σ_ij α^a·α^b       = conj(u_aᵀu_b)·(v_aᵀv_b)  =: β₂
+//	Σ Reα^aReα^b = ½Re(β₁+β₂)      Σ Imα^aImα^b = ½Re(β₁−β₂)
+//	Σ Reα^aImα^b = ½Im(β₂−β₁)      Σ Imα^aReα^b = ½Im(β₂+β₁)
+func solvePerturbation(model *rational.Model, cons []constraint, opts EnforceOptions) (float64, error) {
+	m := len(cons)
+	p := model.Ports()
+	dual := assembleDual(cons)
+	g := make([]float64, m)
+	for a := range cons {
+		g[a] = (1 - opts.Margin) - cons[a].sigma
+	}
+	lambda, err := qp.SolveNNQP(dual, g)
+	if err != nil {
+		return 0, err
+	}
+	// Apply δc_ij = −Σ_a λ_a (Reα^a_ij·wr_a − Imα^a_ij·wi_a).
+	n := model.NumPoles()
+	delta := make([]float64, n)
+	total := 0.0
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			for k := range delta {
+				delta[k] = 0
+			}
+			for a := range cons {
+				la := lambda[a]
+				if la == 0 {
+					continue
+				}
+				alpha := cmplx.Conj(cons[a].u[i]) * cons[a].v[j]
+				re, im := real(alpha), imag(alpha)
+				wr, wi := cons[a].wr, cons[a].wi
+				for k := range delta {
+					delta[k] -= la * (re*wr[k] - im*wi[k])
+				}
+			}
+			model.AddToCVector(i, j, delta)
+			for _, d := range delta {
+				total += d * d
+			}
+		}
+	}
+	return math.Sqrt(total), nil
+}
+
+// assembleDual builds the dual QP matrix M_ab = Σ_ij f_a,ijᵀ·G⁻¹·f_b,ij
+// using the closed-form α-product sums documented on solvePerturbation.
+func assembleDual(cons []constraint) *mat.Matrix {
+	m := len(cons)
+	dual := mat.NewMatrix(m, m)
+	for a := 0; a < m; a++ {
+		for b := a; b < m; b++ {
+			ca, cb := &cons[a], &cons[b]
+			k00 := mat.Dot(ca.rk, cb.wr)
+			k01 := mat.Dot(ca.rk, cb.wi)
+			k10 := mat.Dot(ca.ik, cb.wr)
+			k11 := mat.Dot(ca.ik, cb.wi)
+			beta1 := mat.CDot(ca.u, cb.u) * cmplx.Conj(mat.CDot(ca.v, cb.v))
+			var ru, rv complex128
+			for i := range ca.u {
+				ru += ca.u[i] * cb.u[i]
+				rv += ca.v[i] * cb.v[i]
+			}
+			beta2 := cmplx.Conj(ru) * rv
+			srr := 0.5 * real(beta1+beta2)
+			sii := 0.5 * real(beta1-beta2)
+			sri := 0.5 * imag(beta2-beta1)
+			sir := 0.5 * imag(beta2+beta1)
+			v := srr*k00 - sri*k01 - sir*k10 + sii*k11
+			dual.Set(a, b, v)
+			dual.Set(b, a, v)
+		}
+	}
+	return dual
+}
+
+// clampDMatrix clips the singular values of the model's direct-coupling
+// matrix to the given limit, the minimal-perturbation projection onto the
+// asymptotically passive set.
+func clampDMatrix(model *rational.Model, limit float64) {
+	svd := mat.SVDecompose(model.D)
+	p := model.D.Rows
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			s := 0.0
+			for k := 0; k < len(svd.S); k++ {
+				sv := svd.S[k]
+				if sv > limit {
+					sv = limit
+				}
+				s += svd.U.At(i, k) * sv * svd.V.At(j, k)
+			}
+			model.D.Set(i, j, s)
+		}
+	}
+}

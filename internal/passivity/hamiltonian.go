@@ -1,0 +1,97 @@
+// Package passivity implements passivity assessment and enforcement for
+// scattering-domain pole-residue macromodels: the Hamiltonian imaginary-
+// eigenvalue test and adaptive singular-value sweeps for detection, and the
+// iterative residue-perturbation scheme of the paper (eqs. 8–10) — a
+// sequence of convex QPs minimizing a Gramian-weighted ‖δS‖² subject to
+// linearized singular-value constraints — for enforcement. The cost
+// Gramian is pluggable: the standard controllability Gramian gives the
+// classical L2 scheme, while the sensitivity-weighted Gramian P^Ξ,11 from
+// internal/core gives the paper's method.
+package passivity
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+	"repro/internal/rational"
+)
+
+// ErrAsymptoticViolation is returned when σ_max(D) ≥ 1: perturbing the
+// residues (C matrix) cannot repair a direct-coupling violation.
+var ErrAsymptoticViolation = errors.New("passivity: σmax(D) ≥ 1, not repairable by residue perturbation")
+
+// HamiltonianMatrix builds the Hamiltonian test matrix associated with the
+// bounded-real (scattering) passivity of the realization {A,B,C,D}:
+//
+//	M = | A − B·R⁻¹·Dᵀ·C       −B·R⁻¹·Bᵀ          |
+//	    | Cᵀ·Q⁻¹·C             −Aᵀ + Cᵀ·D·R⁻¹·Bᵀ  |
+//
+// with R = DᵀD − I and Q = DDᵀ − I. S(jω₀) has a unit singular value iff
+// jω₀ is an eigenvalue of M (Grivet-Talocia 2004).
+func HamiltonianMatrix(a, b, c, d *mat.Matrix) (*mat.Matrix, error) {
+	n := a.Rows
+	r := d.T().Mul(d)
+	q := d.Mul(d.T())
+	for i := 0; i < r.Rows; i++ {
+		r.Set(i, i, r.At(i, i)-1)
+	}
+	for i := 0; i < q.Rows; i++ {
+		q.Set(i, i, q.At(i, i)-1)
+	}
+	rInv, err := mat.Inverse(r)
+	if err != nil {
+		return nil, fmt.Errorf("passivity: DᵀD−I singular (σ(D)=1): %w", err)
+	}
+	qInv, err := mat.Inverse(q)
+	if err != nil {
+		return nil, fmt.Errorf("passivity: DDᵀ−I singular (σ(D)=1): %w", err)
+	}
+	brd := b.Mul(rInv).Mul(d.T()) // B R⁻¹ Dᵀ
+	m := mat.NewMatrix(2*n, 2*n)
+	m.SetSlice(0, 0, a.Sub(brd.Mul(c)))
+	m.SetSlice(0, n, b.Mul(rInv).Mul(b.T()).Scale(-1))
+	m.SetSlice(n, 0, c.T().Mul(qInv).Mul(c))
+	m.SetSlice(n, n, a.T().Scale(-1).Add(c.T().Mul(d).Mul(rInv).Mul(b.T())))
+	return m, nil
+}
+
+// HamiltonianCrossings returns the frequencies ω ≥ 0 (rad/s) at which some
+// singular value of the model's scattering matrix crosses 1, found as the
+// imaginary eigenvalues of the Hamiltonian matrix. An empty result together
+// with σmax(D) < 1 and a sub-unit spot check certifies passivity.
+func HamiltonianCrossings(model *rational.Model) ([]float64, error) {
+	sys := model.Realization()
+	h, err := HamiltonianMatrix(sys.A, sys.B, sys.C, sys.D)
+	if err != nil {
+		return nil, err
+	}
+	ev, err := mat.EigenValues(h)
+	if err != nil {
+		return nil, fmt.Errorf("passivity: Hamiltonian eigenvalues: %w", err)
+	}
+	var crossings []float64
+	scale := 0.0
+	for _, z := range ev {
+		if a := math.Hypot(real(z), imag(z)); a > scale {
+			scale = a
+		}
+	}
+	tol := 1e-8 * (1 + scale)
+	for _, z := range ev {
+		if math.Abs(real(z)) < tol && imag(z) > tol {
+			crossings = append(crossings, imag(z))
+		}
+	}
+	sortFloats(crossings)
+	return crossings, nil
+}
+
+func sortFloats(v []float64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

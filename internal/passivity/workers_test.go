@@ -1,0 +1,60 @@
+package passivity
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSweepWorkersDoNotChangeResult(t *testing.T) {
+	m := nonPassiveMIMO(t)
+	var reports []*Report
+	for _, workers := range []int{1, 2, 8} {
+		rep, err := Check(m, CheckOptions{Method: MethodSweep, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports = append(reports, rep)
+	}
+	ref := reports[0]
+	for i, rep := range reports[1:] {
+		if rep.Passive != ref.Passive || len(rep.Violations) != len(ref.Violations) {
+			t.Fatalf("workers case %d: verdict differs", i)
+		}
+		if math.Abs(rep.MaxSigma-ref.MaxSigma) > 1e-12 {
+			t.Fatalf("workers case %d: MaxSigma %v vs %v", i, rep.MaxSigma, ref.MaxSigma)
+		}
+		if math.Abs(rep.MaxOmega-ref.MaxOmega) > 1e-12*ref.MaxOmega {
+			t.Fatalf("workers case %d: MaxOmega %v vs %v", i, rep.MaxOmega, ref.MaxOmega)
+		}
+		for k, v := range rep.Violations {
+			if math.Abs(v.OmegaPeak-ref.Violations[k].OmegaPeak) > 1e-9*ref.Violations[k].OmegaPeak {
+				t.Fatalf("workers case %d: violation %d peak differs", i, k)
+			}
+		}
+	}
+}
+
+func TestSweepHandlesHeavilyDampedPoles(t *testing.T) {
+	// A pole with |Re p| ≫ |Im p| used to seed the sweep grid with a
+	// negative frequency, yielding NaN violation bands that poisoned the
+	// enforcement QP. Regression: all report fields must be finite.
+	m := nonPassiveSISO(t, 0.12)
+	m.Poles = append(m.Poles, complex(-50, 0.3), complex(-50, -0.3))
+	m.Residues = append(m.Residues, m.Residues[0].Clone(), m.Residues[0].Clone())
+	r := m.CVector(0, 0)
+	r[len(r)-2] = 0.4
+	r[len(r)-1] = 0
+	m.SetCVector(0, 0, r)
+	rep, err := Check(m, CheckOptions{Method: MethodSweep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(rep.MaxSigma) || math.IsNaN(rep.MaxOmega) {
+		t.Fatal("NaN in sweep report")
+	}
+	for _, v := range rep.Violations {
+		if math.IsNaN(v.OmegaPeak) || math.IsNaN(v.SigmaPeak) || v.OmegaHi < v.OmegaLo {
+			t.Fatalf("bad violation band: %+v", v)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package pdn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/mat"
+)
+
+// MCOptions configures the Monte-Carlo sensitivity estimator.
+type MCOptions struct {
+	// Sigma is the standard deviation of the element perturbations
+	// (default 1e-6, small enough for the first-order regime).
+	Sigma float64
+	// Trials is the number of random perturbations per frequency
+	// (default 64).
+	Trials int
+	// Seed makes the estimator deterministic (default 1).
+	Seed int64
+}
+
+// SensitivityMC estimates Ξ(ω) by direct perturbation analysis, the
+// defining experiment of eq. (5): every scattering entry is perturbed by an
+// independent zero-mean Gaussian of deviation σ, the loaded Z_PDN is
+// recomputed, and E{|ΔZ_PDN|}/σ is averaged over trials. It is the
+// (slow, unbiased) reference against which the closed-form SensitivityAt is
+// validated; both agree up to the constant E{|ξ|} of the standardized
+// perturbation combination, which cancels in the weight normalization.
+func SensitivityMC(omega []float64, samples []*mat.CMatrix, r0 float64, load *Load, opts MCOptions) ([]float64, error) {
+	if len(omega) != len(samples) || len(samples) == 0 {
+		return nil, ErrDimension
+	}
+	if err := load.Validate(samples[0].Rows); err != nil {
+		return nil, err
+	}
+	sigma := opts.Sigma
+	if sigma <= 0 {
+		sigma = 1e-6
+	}
+	trials := opts.Trials
+	if trials <= 0 {
+		trials = 64
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, len(omega))
+	for k, w := range omega {
+		z0, err := TargetImpedanceAt(samples[k], r0, w, load)
+		if err != nil {
+			return nil, fmt.Errorf("pdn: MC baseline at ω=%g: %w", w, err)
+		}
+		sum := 0.0
+		pert := samples[k].Clone()
+		for t := 0; t < trials; t++ {
+			copy(pert.Data, samples[k].Data)
+			for i := range pert.Data {
+				pert.Data[i] += complex(sigma*rng.NormFloat64(), sigma*rng.NormFloat64())
+			}
+			z, err := TargetImpedanceAt(pert, r0, w, load)
+			if err != nil {
+				return nil, fmt.Errorf("pdn: MC trial at ω=%g: %w", w, err)
+			}
+			sum += absOrTiny(z - z0)
+		}
+		out[k] = sum / (float64(trials) * sigma)
+	}
+	return out, nil
+}

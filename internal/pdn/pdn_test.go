@@ -1,0 +1,233 @@
+package pdn
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func TestTerminationAdmittances(t *testing.T) {
+	if (Open{}).Y(1e6) != 0 {
+		t.Fatalf("open must have zero admittance")
+	}
+	if y := (Resistor{R: 4}).Y(0); y != 0.25 {
+		t.Fatalf("resistor Y = %v", y)
+	}
+	// Series RLC at its resonance ω = 1/√(LC) is purely resistive.
+	d := Decap(100e-9, 0.02, 0.6e-9)
+	w0 := 1 / math.Sqrt(d.L*d.C)
+	y := d.Y(w0)
+	if math.Abs(real(y)-1/0.02) > 1e-6/0.02 || math.Abs(imag(y)) > 1e-6 {
+		t.Fatalf("decap at resonance: Y=%v want %v", y, 1/0.02)
+	}
+	// Series C blocks DC.
+	if d.Y(0) != 0 {
+		t.Fatalf("series capacitor must block DC")
+	}
+	// VRM RL passes DC with Y = 1/R.
+	v := VRM(1e-3, 10e-9)
+	if math.Abs(real(v.Y(0))-1000) > 1e-9 {
+		t.Fatalf("VRM DC admittance %v", v.Y(0))
+	}
+	// Short is a huge conductance.
+	if real((Short{}).Y(1)) < 1e7 {
+		t.Fatalf("short admittance too small")
+	}
+}
+
+// oneportS returns the scattering of a simple shunt impedance z on R0.
+func oneportS(z complex128, r0 float64) *mat.CMatrix {
+	s := mat.NewCMatrix(1, 1)
+	s.Set(0, 0, (z-complex(r0, 0))/(z+complex(r0, 0)))
+	return s
+}
+
+func TestTargetImpedanceParallelResistors(t *testing.T) {
+	// PDN = 5Ω to ground; load = 20Ω; J = 1A ⇒ Z_PDN = 5‖20 = 4Ω.
+	s := oneportS(5, 50)
+	load := &Load{Terms: []Termination{Resistor{R: 20}}, J: []complex128{1}, ObsPort: 0}
+	z, err := TargetImpedanceAt(s, 50, 1e6, load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(z-4) > 1e-9 {
+		t.Fatalf("Z = %v want 4", z)
+	}
+}
+
+func TestTargetImpedanceOpenLoad(t *testing.T) {
+	// Open load returns the raw network impedance.
+	s := oneportS(complex(3, 7), 50)
+	load := &Load{Terms: []Termination{Open{}}, J: []complex128{1}, ObsPort: 0}
+	z, err := TargetImpedanceAt(s, 50, 1e6, load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(z-complex(3, 7)) > 1e-9 {
+		t.Fatalf("Z = %v want 3+7i", z)
+	}
+}
+
+func TestTargetImpedanceTwoPort(t *testing.T) {
+	// Two-port: series impedance zs between port 1 and port 2, each port
+	// also shunted by zp to ground. Load port 2 with RL, inject at port 2,
+	// observe port 1 — verified against the direct nodal solution.
+	r0 := 50.0
+	zs := complex(2, 5)
+	zp := complex(100, -30)
+	// Build Z-parameters of the PI network: port impedances with other
+	// port open.
+	// Y-params of PI: Y11 = 1/zp + 1/zs, Y12 = −1/zs, etc.
+	y := mat.NewCMatrix(2, 2)
+	y.Set(0, 0, 1/zp+1/zs)
+	y.Set(0, 1, -1/zs)
+	y.Set(1, 0, -1/zs)
+	y.Set(1, 1, 1/zp+1/zs)
+	z, err := mat.CInverse(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// S = (Z − R0)(Z + R0)⁻¹.
+	num := z.Clone()
+	den := z.Clone()
+	for i := 0; i < 2; i++ {
+		num.Set(i, i, num.At(i, i)-complex(r0, 0))
+		den.Set(i, i, den.At(i, i)+complex(r0, 0))
+	}
+	deninv, err := mat.CInverse(den)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := num.Mul(deninv)
+
+	rl := 25.0
+	load := &Load{
+		Terms:   []Termination{Open{}, Resistor{R: rl}},
+		J:       []complex128{0, 1},
+		ObsPort: 0,
+	}
+	got, err := TargetImpedanceAt(s, r0, 1e6, load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Direct: with J=1A into port 2 through load Y_L: nodal equations
+	// (Y + Y_L)V = J.
+	yl := mat.NewCMatrix(2, 2)
+	yl.Set(1, 1, complex(1/rl, 0))
+	sys := y.Add(yl)
+	v, err := mat.CSolveLin(sys, []complex128{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(got-v[0]) > 1e-9*(1+cmplx.Abs(v[0])) {
+		t.Fatalf("Z_PDN = %v want %v", got, v[0])
+	}
+}
+
+func TestSensitivityMatchesFiniteDifference(t *testing.T) {
+	// The closed-form ‖G‖_F must match element-wise finite differences of
+	// Z_PDN with respect to every S entry.
+	r0 := 50.0
+	s := mat.NewCMatrixFrom([][]complex128{
+		{complex(0.9, 0.05), complex(0.08, -0.02)},
+		{complex(0.08, -0.02), complex(0.85, 0.1)},
+	})
+	load := &Load{
+		Terms:   []Termination{DieRC(0.2, 10e-9), Decap(1e-6, 0.01, 1e-9)},
+		J:       []complex128{1, 0},
+		ObsPort: 0,
+	}
+	omega := 2 * math.Pi * 1e7
+	xi, err := SensitivityAt(s, r0, omega, load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z0, err := TargetImpedanceAt(s, r0, omega, load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := 1e-8
+	frob := 0.0
+	for p := 0; p < 2; p++ {
+		for q := 0; q < 2; q++ {
+			sp := s.Clone()
+			sp.Set(p, q, sp.At(p, q)+complex(h, 0))
+			zr, err := TargetImpedanceAt(sp, r0, omega, load)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := (zr - z0) / complex(h, 0)
+			frob += real(g)*real(g) + imag(g)*imag(g)
+		}
+	}
+	frob = math.Sqrt(frob)
+	if math.Abs(frob-xi)/xi > 1e-4 {
+		t.Fatalf("finite difference ‖G‖=%v vs closed form Ξ=%v", frob, xi)
+	}
+}
+
+func TestSensitivityMCMatchesAnalyticShape(t *testing.T) {
+	// MC estimator with circular complex perturbations satisfies
+	// E|ΔZ|/σ = √(π/2)·Ξ; the ratio must be constant across frequencies.
+	r0 := 50.0
+	samples := []*mat.CMatrix{}
+	omegas := []float64{2 * math.Pi * 1e5, 2 * math.Pi * 1e7, 2 * math.Pi * 1e9}
+	for i, w := range omegas {
+		_ = w
+		s := mat.NewCMatrixFrom([][]complex128{
+			{complex(0.9-0.2*float64(i), 0.05), complex(0.05, -0.01*float64(i+1))},
+			{complex(0.05, -0.01*float64(i+1)), complex(0.8, 0.15)},
+		})
+		samples = append(samples, s)
+	}
+	load := &Load{
+		Terms:   []Termination{DieRC(0.2, 10e-9), Decap(1e-6, 0.01, 1e-9)},
+		J:       []complex128{1, 0},
+		ObsPort: 0,
+	}
+	ana, err := Sensitivity(omegas, samples, r0, load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := SensitivityMC(omegas, samples, r0, load, MCOptions{Trials: 512, Sigma: 1e-7, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt(math.Pi / 2)
+	for k := range omegas {
+		ratio := mc[k] / ana[k]
+		if math.Abs(ratio-want)/want > 0.12 {
+			t.Fatalf("ω[%d]: MC/analytic = %v want ≈ %v", k, ratio, want)
+		}
+	}
+}
+
+func TestLoadValidate(t *testing.T) {
+	l := &Load{Terms: []Termination{Open{}}, J: []complex128{1}, ObsPort: 0}
+	if err := l.Validate(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Validate(2); err == nil {
+		t.Fatalf("port mismatch accepted")
+	}
+	l.ObsPort = 5
+	if err := l.Validate(1); err == nil {
+		t.Fatalf("bad obs port accepted")
+	}
+}
+
+func TestUniformDieExcitation(t *testing.T) {
+	j := UniformDieExcitation(6, []int{1, 3, 5})
+	var sum complex128
+	for _, v := range j {
+		sum += v
+	}
+	if cmplx.Abs(sum-1) > 1e-15 {
+		t.Fatalf("total current %v want 1", sum)
+	}
+	if j[0] != 0 || j[2] != 0 || j[4] != 0 {
+		t.Fatalf("non-die ports must carry no excitation: %v", j)
+	}
+}

@@ -1,0 +1,310 @@
+// Package rational implements matrix-valued pole-residue rational models
+//
+//	H(s) = Σ_m R_m/(s − p_m) + D
+//
+// with poles shared across all matrix entries, as produced by Vector
+// Fitting. Complex poles appear in adjacent conjugate pairs so that the
+// model is real (H(s̄) = H̄(s)), and the package provides the real
+// block-diagonal (Gilbert) state-space realization that the passivity
+// machinery perturbs.
+package rational
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/mat"
+	"repro/internal/statespace"
+)
+
+// Model is a matrix pole-residue rational function with common poles.
+//
+// Pole convention: Poles lists every pole; a complex pole p (Im p > 0) is
+// immediately followed by its conjugate, and the corresponding Residues
+// entries are conjugate matrices. Real poles carry real residue matrices.
+type Model struct {
+	Poles    []complex128
+	Residues []*mat.CMatrix // one P×P residue matrix per pole
+	D        *mat.Matrix    // P×P real direct-coupling term
+}
+
+// ErrBadPoleOrder indicates the pole list violates the conjugate-pair
+// adjacency convention.
+var ErrBadPoleOrder = errors.New("rational: complex poles must come in adjacent conjugate pairs")
+
+// New builds a Model and validates the pair structure.
+func New(poles []complex128, residues []*mat.CMatrix, d *mat.Matrix) (*Model, error) {
+	if len(poles) != len(residues) {
+		return nil, fmt.Errorf("rational: %d poles but %d residue matrices", len(poles), len(residues))
+	}
+	p := d.Rows
+	if d.Cols != p {
+		return nil, fmt.Errorf("rational: D must be square, got %d×%d", d.Rows, d.Cols)
+	}
+	for _, r := range residues {
+		if r.Rows != p || r.Cols != p {
+			return nil, fmt.Errorf("rational: residue size %d×%d does not match D %d×%d", r.Rows, r.Cols, p, p)
+		}
+	}
+	m := &Model{Poles: poles, Residues: residues, D: d}
+	if err := m.validatePairs(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func (m *Model) validatePairs() error {
+	const tol = 1e-9
+	for k := 0; k < len(m.Poles); {
+		p := m.Poles[k]
+		if imag(p) == 0 {
+			k++
+			continue
+		}
+		if k+1 >= len(m.Poles) {
+			return ErrBadPoleOrder
+		}
+		q := m.Poles[k+1]
+		if cmplx.Abs(q-cmplx.Conj(p)) > tol*(1+cmplx.Abs(p)) {
+			return ErrBadPoleOrder
+		}
+		k += 2
+	}
+	return nil
+}
+
+// Ports returns the matrix dimension P.
+func (m *Model) Ports() int { return m.D.Rows }
+
+// NumPoles returns the number of poles (counting both members of each
+// conjugate pair), which equals the state dimension of the basis
+// realization.
+func (m *Model) NumPoles() int { return len(m.Poles) }
+
+// Clone deep-copies the model.
+func (m *Model) Clone() *Model {
+	poles := make([]complex128, len(m.Poles))
+	copy(poles, m.Poles)
+	res := make([]*mat.CMatrix, len(m.Residues))
+	for i, r := range m.Residues {
+		res[i] = r.Clone()
+	}
+	return &Model{Poles: poles, Residues: res, D: m.D.Clone()}
+}
+
+// IsStable reports whether every pole has real part < −tol.
+func (m *Model) IsStable(tol float64) bool {
+	for _, p := range m.Poles {
+		if real(p) >= -tol {
+			return false
+		}
+	}
+	return true
+}
+
+// EvalBasis returns the partial-fraction basis vector k̃(ω) of length
+// NumPoles such that H_ij(jω) = c_ij·k̃(ω) + D_ij, where c_ij is the
+// residue coordinate vector of entry (i,j) (see CVector). Real pole slots
+// hold 1/(jω−p); a conjugate pair occupies two slots holding
+// 2(jω−α)/Δ and −2β/Δ with p = α+jβ, Δ = (jω−α)²+β².
+func (m *Model) EvalBasis(omega float64) []complex128 {
+	s := complex(0, omega)
+	k := make([]complex128, len(m.Poles))
+	for i := 0; i < len(m.Poles); {
+		p := m.Poles[i]
+		if imag(p) == 0 {
+			k[i] = 1 / (s - p)
+			i++
+			continue
+		}
+		al, be := real(p), imag(p)
+		d := (s - complex(al, 0)) * (s - complex(al, 0)) * complex(1, 0)
+		d += complex(be*be, 0)
+		k[i] = 2 * (s - complex(al, 0)) / d
+		k[i+1] = complex(-2*be, 0) / d
+		i += 2
+	}
+	return k
+}
+
+// CVector returns the real residue coordinate vector c_ij of entry (i,j)
+// with respect to the basis realization: real-pole slots hold Re(R_ij);
+// each conjugate pair contributes [Re(R_ij), Im(R_ij)] of its first member.
+func (m *Model) CVector(i, j int) []float64 {
+	c := make([]float64, len(m.Poles))
+	for k := 0; k < len(m.Poles); {
+		r := m.Residues[k].At(i, j)
+		if imag(m.Poles[k]) == 0 {
+			c[k] = real(r)
+			k++
+			continue
+		}
+		c[k] = real(r)
+		c[k+1] = imag(r)
+		k += 2
+	}
+	return c
+}
+
+// SetCVector writes the residue coordinates of entry (i,j), keeping the
+// conjugate-pair symmetry of the residue matrices intact.
+func (m *Model) SetCVector(i, j int, c []float64) {
+	if len(c) != len(m.Poles) {
+		panic("rational: SetCVector length mismatch")
+	}
+	for k := 0; k < len(m.Poles); {
+		if imag(m.Poles[k]) == 0 {
+			m.Residues[k].Set(i, j, complex(c[k], 0))
+			k++
+			continue
+		}
+		m.Residues[k].Set(i, j, complex(c[k], c[k+1]))
+		m.Residues[k+1].Set(i, j, complex(c[k], -c[k+1]))
+		k += 2
+	}
+}
+
+// AddToCVector adds delta to the residue coordinates of entry (i,j).
+func (m *Model) AddToCVector(i, j int, delta []float64) {
+	c := m.CVector(i, j)
+	for k := range c {
+		c[k] += delta[k]
+	}
+	m.SetCVector(i, j, c)
+}
+
+// Eval returns H(jω) as a complex P×P matrix.
+func (m *Model) Eval(omega float64) *mat.CMatrix {
+	p := m.Ports()
+	k := m.EvalBasis(omega)
+	h := mat.NewCMatrix(p, p)
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			var sum complex128
+			for n := 0; n < len(m.Poles); {
+				r := m.Residues[n].At(i, j)
+				if imag(m.Poles[n]) == 0 {
+					sum += complex(real(r), 0) * k[n]
+					n++
+					continue
+				}
+				sum += complex(real(r), 0)*k[n] + complex(imag(r), 0)*k[n+1]
+				n += 2
+			}
+			h.Set(i, j, sum+complex(m.D.At(i, j), 0))
+		}
+	}
+	return h
+}
+
+// EvalEntry returns H_ij(jω).
+func (m *Model) EvalEntry(i, j int, omega float64) complex128 {
+	k := m.EvalBasis(omega)
+	c := m.CVector(i, j)
+	var sum complex128
+	for n := range k {
+		sum += complex(c[n], 0) * k[n]
+	}
+	return sum + complex(m.D.At(i, j), 0)
+}
+
+// BasisRealization returns the single-input real realization (A₁, b₁) of
+// the common-pole basis: A₁ is block diagonal with 1×1 blocks for real
+// poles and 2×2 blocks [[α,β],[−β,α]] for conjugate pairs; b₁ holds 1 for
+// real slots and [2,0] for pair slots. With c_ij = CVector(i,j):
+// H_ij(s) = c_ij(sI−A₁)⁻¹b₁ + D_ij.
+func (m *Model) BasisRealization() (*mat.Matrix, []float64) {
+	return BasisFromPoles(m.Poles)
+}
+
+// BasisFromPoles builds the single-input real realization (A₁, b₁) of the
+// partial-fraction basis for an arbitrary canonical pole list (conjugate
+// pairs adjacent). It is shared by Vector Fitting, which needs the basis
+// before a Model exists.
+func BasisFromPoles(poles []complex128) (*mat.Matrix, []float64) {
+	n := len(poles)
+	a := mat.NewMatrix(n, n)
+	b := make([]float64, n)
+	for k := 0; k < n; {
+		p := poles[k]
+		if imag(p) == 0 {
+			a.Set(k, k, real(p))
+			b[k] = 1
+			k++
+			continue
+		}
+		al, be := real(p), imag(p)
+		a.Set(k, k, al)
+		a.Set(k, k+1, be)
+		a.Set(k+1, k, -be)
+		a.Set(k+1, k+1, al)
+		b[k] = 2
+		b[k+1] = 0
+		k += 2
+	}
+	return a, b
+}
+
+// EntryRealization returns the SISO state-space realization of entry (i,j).
+func (m *Model) EntryRealization(i, j int) *statespace.System {
+	a, b1 := m.BasisRealization()
+	n := len(b1)
+	b := mat.NewMatrix(n, 1)
+	for k := 0; k < n; k++ {
+		b.Set(k, 0, b1[k])
+	}
+	cv := m.CVector(i, j)
+	c := mat.NewMatrix(1, n)
+	for k := 0; k < n; k++ {
+		c.Set(0, k, cv[k])
+	}
+	d := mat.NewMatrix(1, 1)
+	d.Set(0, 0, m.D.At(i, j))
+	return statespace.MustNew(a, b, c, d)
+}
+
+// Realization returns the full MIMO realization with A = I_P ⊗ A₁,
+// B = I_P ⊗ b₁, and rows of C holding the per-entry residue coordinates.
+// State ordering is port-major: states n·j..n·j+n−1 belong to input j.
+func (m *Model) Realization() *statespace.System {
+	p := m.Ports()
+	a1, b1 := m.BasisRealization()
+	n := len(b1)
+	a := mat.NewMatrix(n*p, n*p)
+	b := mat.NewMatrix(n*p, p)
+	c := mat.NewMatrix(p, n*p)
+	for j := 0; j < p; j++ {
+		a.SetSlice(j*n, j*n, a1)
+		for k := 0; k < n; k++ {
+			b.Set(j*n+k, j, b1[k])
+		}
+		for i := 0; i < p; i++ {
+			cv := m.CVector(i, j)
+			for k := 0; k < n; k++ {
+				c.Set(i, j*n+k, cv[k])
+			}
+		}
+	}
+	return statespace.MustNew(a, b, c, m.D.Clone())
+}
+
+// IsSymmetric reports whether the model is reciprocal: every residue matrix
+// and D symmetric within tol (scaled by the matrix magnitude).
+func (m *Model) IsSymmetric(tol float64) bool {
+	p := m.Ports()
+	for i := 0; i < p; i++ {
+		for j := i + 1; j < p; j++ {
+			if math.Abs(m.D.At(i, j)-m.D.At(j, i)) > tol {
+				return false
+			}
+			for _, r := range m.Residues {
+				if cmplx.Abs(r.At(i, j)-r.At(j, i)) > tol*(1+cmplx.Abs(r.At(i, j))) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

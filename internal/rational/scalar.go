@@ -1,0 +1,170 @@
+package rational
+
+import (
+	"fmt"
+	"math/cmplx"
+	"sort"
+
+	"repro/internal/mat"
+)
+
+// NewScalar builds a 1×1 (SISO) pole-residue model from plain complex
+// slices. Poles must follow the conjugate-pair adjacency convention.
+func NewScalar(poles, residues []complex128, d float64) (*Model, error) {
+	if len(poles) != len(residues) {
+		return nil, fmt.Errorf("rational: %d poles but %d residues", len(poles), len(residues))
+	}
+	rm := make([]*mat.CMatrix, len(poles))
+	for i, r := range residues {
+		m := mat.NewCMatrix(1, 1)
+		m.Set(0, 0, r)
+		rm[i] = m
+	}
+	dm := mat.NewMatrix(1, 1)
+	dm.Set(0, 0, d)
+	return New(poles, rm, dm)
+}
+
+// ScalarResidues returns the residues of a SISO model as a flat slice.
+func (m *Model) ScalarResidues() []complex128 {
+	if m.Ports() != 1 {
+		panic("rational: ScalarResidues on a MIMO model")
+	}
+	out := make([]complex128, len(m.Residues))
+	for i, r := range m.Residues {
+		out[i] = r.At(0, 0)
+	}
+	return out
+}
+
+// SortPairs reorders an arbitrary conjugation-closed pole set into the
+// canonical convention: ascending by |Im|, then Re; complex poles appear as
+// (Im>0, Im<0) adjacent pairs. It returns the reordered poles and the
+// permutation mapping new index → old index. Poles with tiny imaginary
+// parts (|Im| ≤ tol·|p|) are snapped to the real axis.
+func SortPairs(poles []complex128, tol float64) ([]complex128, []int, error) {
+	type entry struct {
+		p   complex128
+		idx int
+	}
+	var reals, ups []entry
+	used := make([]bool, len(poles))
+	snapped := make([]complex128, len(poles))
+	for i, p := range poles {
+		if absIm := cmplx.Abs(complex(0, imag(p))); absIm <= tol*(1+cmplx.Abs(p)) {
+			snapped[i] = complex(real(p), 0)
+		} else {
+			snapped[i] = p
+		}
+	}
+	for i, p := range snapped {
+		if used[i] {
+			continue
+		}
+		if imag(p) == 0 {
+			reals = append(reals, entry{p, i})
+			used[i] = true
+			continue
+		}
+		// Find the conjugate partner.
+		best := -1
+		bestDist := 0.0
+		for j := i + 1; j < len(snapped); j++ {
+			if used[j] || imag(snapped[j]) == 0 {
+				continue
+			}
+			d := cmplx.Abs(snapped[j] - cmplx.Conj(p))
+			if best == -1 || d < bestDist {
+				best, bestDist = j, d
+			}
+		}
+		if best == -1 || bestDist > 1e-6*(1+cmplx.Abs(p)) {
+			return nil, nil, fmt.Errorf("rational: pole %v has no conjugate partner", p)
+		}
+		used[i], used[best] = true, true
+		if imag(p) > 0 {
+			ups = append(ups, entry{p, i})
+		} else {
+			ups = append(ups, entry{snapped[best], best})
+		}
+	}
+	sort.Slice(reals, func(a, b int) bool { return real(reals[a].p) < real(reals[b].p) })
+	sort.Slice(ups, func(a, b int) bool {
+		if imag(ups[a].p) != imag(ups[b].p) {
+			return imag(ups[a].p) < imag(ups[b].p)
+		}
+		return real(ups[a].p) < real(ups[b].p)
+	})
+	out := make([]complex128, 0, len(poles))
+	perm := make([]int, 0, len(poles))
+	for _, e := range reals {
+		out = append(out, e.p)
+		perm = append(perm, e.idx)
+	}
+	for _, e := range ups {
+		out = append(out, e.p, cmplx.Conj(e.p))
+		perm = append(perm, e.idx, -1) // conjugate slot has no source index
+	}
+	return out, perm, nil
+}
+
+// FromZPK builds a scalar pole-residue model from zeros, poles and gain:
+//
+//	H(s) = gain·Π(s−z_l) / Π(s−p_m) = gain + Σ r_m/(s−p_m)
+//
+// with len(zeros) == len(poles) (biproper) or len(zeros) < len(poles)
+// (strictly proper, direct term 0 unless biproper). Residues follow from
+// the standard partial-fraction formula
+//
+//	r_m = gain·Π_l(p_m−z_l) / Π_{l≠m}(p_m−p_l).
+//
+// Repeated poles are rejected. The pole set must be conjugation-closed; the
+// result uses the canonical pair ordering.
+func FromZPK(zeros, poles []complex128, gain float64) (*Model, error) {
+	if len(zeros) > len(poles) {
+		return nil, fmt.Errorf("rational: improper transfer function (%d zeros > %d poles)", len(zeros), len(poles))
+	}
+	sorted, _, err := SortPairs(poles, 1e-12)
+	if err != nil {
+		return nil, err
+	}
+	// Reject (near-)repeated poles, which partial fractions cannot handle.
+	for i := 0; i < len(sorted); i++ {
+		for j := i + 1; j < len(sorted); j++ {
+			if cmplx.Abs(sorted[i]-sorted[j]) < 1e-9*(1+cmplx.Abs(sorted[i])) {
+				return nil, fmt.Errorf("rational: repeated pole %v", sorted[i])
+			}
+		}
+	}
+	res := make([]complex128, len(sorted))
+	for m, pm := range sorted {
+		num := complex(gain, 0)
+		for _, z := range zeros {
+			num *= pm - z
+		}
+		den := complex(1, 0)
+		for l, pl := range sorted {
+			if l != m {
+				den *= pm - pl
+			}
+		}
+		res[m] = num / den
+	}
+	d := 0.0
+	if len(zeros) == len(poles) {
+		d = gain
+	}
+	// Force exact conjugate symmetry (cleans rounding noise).
+	for k := 0; k < len(sorted); {
+		if imag(sorted[k]) == 0 {
+			res[k] = complex(real(res[k]), 0)
+			k++
+			continue
+		}
+		avg := 0.5 * (res[k] + cmplx.Conj(res[k+1]))
+		res[k] = avg
+		res[k+1] = cmplx.Conj(avg)
+		k += 2
+	}
+	return NewScalar(sorted, res, d)
+}

@@ -1,0 +1,190 @@
+// Package sparam converts multiport network parameters between the
+// scattering, impedance and admittance representations, and renormalizes
+// scattering matrices to a different reference resistance.
+//
+// The paper's conclusions (§V) note that the sensitivity-based weighting
+// flow applies unchanged to native data in admittance or impedance form and
+// to scattering data normalized to any port resistance; these conversions
+// are what make that claim exercisable (see the representation-independence
+// experiment in internal/experiments).
+//
+// All conversions assume a uniform real reference resistance R0 at every
+// port, the convention of the paper (R0 = 50 Ω in §IV). With that
+// convention the Cayley-transform factors commute, so
+//
+//	Z = R0·(I+S)(I−S)⁻¹ = R0·(I−S)⁻¹(I+S)
+//	Y = R0⁻¹·(I−S)(I+S)⁻¹
+//	S = (Z−R0·I)(Z+R0·I)⁻¹ = (I−R0·Y)(I+R0·Y)⁻¹
+//
+// and renormalization from R0 to R1 is the Möbius map
+//
+//	S' = (S − ρI)(I − ρS)⁻¹,  ρ = (R1−R0)/(R1+R0).
+package sparam
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// ErrSingular reports a conversion whose Cayley factor is numerically
+// singular (e.g. S has an eigenvalue at +1, meaning an ideally open port,
+// when converting to Y; or at −1, an ideal short, when converting to Z).
+var ErrSingular = errors.New("sparam: conversion matrix is singular")
+
+// ErrR0 reports a non-positive reference resistance.
+var ErrR0 = errors.New("sparam: reference resistance must be positive")
+
+// addDiag returns m + d·I without modifying m.
+func addDiag(m *mat.CMatrix, d complex128) *mat.CMatrix {
+	out := m.Clone()
+	for i := 0; i < out.Rows; i++ {
+		out.Set(i, i, out.At(i, i)+d)
+	}
+	return out
+}
+
+// negAddDiag returns d·I − m without modifying m.
+func negAddDiag(m *mat.CMatrix, d complex128) *mat.CMatrix {
+	out := m.Clone().Scale(-1)
+	for i := 0; i < out.Rows; i++ {
+		out.Set(i, i, out.At(i, i)+d)
+	}
+	return out
+}
+
+// solveRight returns den⁻¹·num, reporting ErrSingular when den cannot be
+// factored.
+func solveRight(den, num *mat.CMatrix) (*mat.CMatrix, error) {
+	lu, err := mat.CLUFactor(den)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSingular, err)
+	}
+	return lu.Solve(num), nil
+}
+
+// SToZ converts one scattering sample to the impedance representation,
+// Z = R0·(I−S)⁻¹(I+S).
+func SToZ(s *mat.CMatrix, r0 float64) (*mat.CMatrix, error) {
+	if r0 <= 0 {
+		return nil, ErrR0
+	}
+	if s.Rows != s.Cols {
+		return nil, fmt.Errorf("sparam: S must be square, got %d×%d", s.Rows, s.Cols)
+	}
+	z, err := solveRight(negAddDiag(s, 1), addDiag(s, 1))
+	if err != nil {
+		return nil, fmt.Errorf("I−S: %w", err)
+	}
+	return z.Scale(complex(r0, 0)), nil
+}
+
+// SToY converts one scattering sample to the admittance representation,
+// Y = R0⁻¹·(I+S)⁻¹(I−S).
+func SToY(s *mat.CMatrix, r0 float64) (*mat.CMatrix, error) {
+	if r0 <= 0 {
+		return nil, ErrR0
+	}
+	if s.Rows != s.Cols {
+		return nil, fmt.Errorf("sparam: S must be square, got %d×%d", s.Rows, s.Cols)
+	}
+	y, err := solveRight(addDiag(s, 1), negAddDiag(s, 1))
+	if err != nil {
+		return nil, fmt.Errorf("I+S: %w", err)
+	}
+	return y.Scale(complex(1/r0, 0)), nil
+}
+
+// ZToS converts one impedance sample to scattering,
+// S = (Z+R0·I)⁻¹(Z−R0·I).
+func ZToS(z *mat.CMatrix, r0 float64) (*mat.CMatrix, error) {
+	if r0 <= 0 {
+		return nil, ErrR0
+	}
+	if z.Rows != z.Cols {
+		return nil, fmt.Errorf("sparam: Z must be square, got %d×%d", z.Rows, z.Cols)
+	}
+	s, err := solveRight(addDiag(z, complex(r0, 0)), addDiag(z, complex(-r0, 0)))
+	if err != nil {
+		return nil, fmt.Errorf("Z+R0·I: %w", err)
+	}
+	return s, nil
+}
+
+// YToS converts one admittance sample to scattering,
+// S = (I+R0·Y)⁻¹(I−R0·Y).
+func YToS(y *mat.CMatrix, r0 float64) (*mat.CMatrix, error) {
+	if r0 <= 0 {
+		return nil, ErrR0
+	}
+	if y.Rows != y.Cols {
+		return nil, fmt.Errorf("sparam: Y must be square, got %d×%d", y.Rows, y.Cols)
+	}
+	ry := y.Clone().Scale(complex(r0, 0))
+	s, err := solveRight(addDiag(ry, 1), negAddDiag(ry, 1))
+	if err != nil {
+		return nil, fmt.Errorf("I+R0·Y: %w", err)
+	}
+	return s, nil
+}
+
+// Renormalize maps a scattering sample from reference resistance r0 to r1
+// via the Möbius transform S' = (I−ρS)⁻¹(S−ρI) with ρ = (r1−r0)/(r1+r0).
+// Renormalization preserves passivity: σmax(S') ≤ 1 whenever σmax(S) ≤ 1.
+func Renormalize(s *mat.CMatrix, r0, r1 float64) (*mat.CMatrix, error) {
+	if r0 <= 0 || r1 <= 0 {
+		return nil, ErrR0
+	}
+	if s.Rows != s.Cols {
+		return nil, fmt.Errorf("sparam: S must be square, got %d×%d", s.Rows, s.Cols)
+	}
+	rho := (r1 - r0) / (r1 + r0)
+	if rho == 0 {
+		return s.Clone(), nil
+	}
+	num := addDiag(s, complex(-rho, 0))
+	den := negAddDiag(s.Clone().Scale(complex(rho, 0)), 1)
+	out, err := solveRight(den, num)
+	if err != nil {
+		return nil, fmt.Errorf("I−ρS: %w", err)
+	}
+	return out, nil
+}
+
+// SweepSToZ applies SToZ to every sample.
+func SweepSToZ(samples []*mat.CMatrix, r0 float64) ([]*mat.CMatrix, error) {
+	return sweep(samples, func(s *mat.CMatrix) (*mat.CMatrix, error) { return SToZ(s, r0) })
+}
+
+// SweepSToY applies SToY to every sample.
+func SweepSToY(samples []*mat.CMatrix, r0 float64) ([]*mat.CMatrix, error) {
+	return sweep(samples, func(s *mat.CMatrix) (*mat.CMatrix, error) { return SToY(s, r0) })
+}
+
+// SweepZToS applies ZToS to every sample.
+func SweepZToS(samples []*mat.CMatrix, r0 float64) ([]*mat.CMatrix, error) {
+	return sweep(samples, func(z *mat.CMatrix) (*mat.CMatrix, error) { return ZToS(z, r0) })
+}
+
+// SweepYToS applies YToS to every sample.
+func SweepYToS(samples []*mat.CMatrix, r0 float64) ([]*mat.CMatrix, error) {
+	return sweep(samples, func(y *mat.CMatrix) (*mat.CMatrix, error) { return YToS(y, r0) })
+}
+
+// SweepRenormalize applies Renormalize to every sample.
+func SweepRenormalize(samples []*mat.CMatrix, r0, r1 float64) ([]*mat.CMatrix, error) {
+	return sweep(samples, func(s *mat.CMatrix) (*mat.CMatrix, error) { return Renormalize(s, r0, r1) })
+}
+
+func sweep(samples []*mat.CMatrix, f func(*mat.CMatrix) (*mat.CMatrix, error)) ([]*mat.CMatrix, error) {
+	out := make([]*mat.CMatrix, len(samples))
+	for k, s := range samples {
+		m, err := f(s)
+		if err != nil {
+			return nil, fmt.Errorf("sample %d: %w", k, err)
+		}
+		out[k] = m
+	}
+	return out, nil
+}

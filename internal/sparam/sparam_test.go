@@ -1,0 +1,284 @@
+package sparam
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mat"
+)
+
+// randContractive returns a random complex matrix scaled so σmax ≤ smax.
+func randContractive(rng *rand.Rand, n int, smax float64) *mat.CMatrix {
+	s := mat.NewCMatrix(n, n)
+	for i := range s.Data {
+		s.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	sig := mat.MaxSingularValue(s)
+	if sig > 0 {
+		s = s.Scale(complex(smax/sig, 0))
+	}
+	return s
+}
+
+func TestSToZKnownOnePort(t *testing.T) {
+	// S=0 is a matched load: Z=R0. S=1/3 is Z=2·R0. S=-1/3 is Z=R0/2.
+	cases := []struct{ s, z complex128 }{
+		{0, 50},
+		{complex(1.0/3, 0), 100},
+		{complex(-1.0/3, 0), 25},
+	}
+	for _, c := range cases {
+		s := mat.NewCMatrix(1, 1)
+		s.Set(0, 0, c.s)
+		z, err := SToZ(s, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cmplx.Abs(z.At(0, 0)-c.z) > 1e-12*cmplx.Abs(c.z) {
+			t.Fatalf("S=%v: Z=%v want %v", c.s, z.At(0, 0), c.z)
+		}
+	}
+}
+
+func TestSToYIsInverseOfSToZ(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for n := 1; n <= 8; n += 3 {
+		s := randContractive(rng, n, 0.8)
+		z, err := SToZ(s, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		y, err := SToY(s, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Z·Y = I.
+		if !z.Mul(y).Equalish(mat.CIdentity(n), 1e-9) {
+			t.Fatalf("n=%d: Z·Y != I", n)
+		}
+	}
+}
+
+func TestSZRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for n := 1; n <= 10; n += 3 {
+		s := randContractive(rng, n, 0.9)
+		z, err := SToZ(s, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := ZToS(z, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !back.Equalish(s, 1e-9) {
+			t.Fatalf("n=%d: S→Z→S round trip failed", n)
+		}
+	}
+}
+
+func TestSYRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for n := 1; n <= 10; n += 3 {
+		s := randContractive(rng, n, 0.9)
+		y, err := SToY(s, 75)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := YToS(y, 75)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !back.Equalish(s, 1e-9) {
+			t.Fatalf("n=%d: S→Y→S round trip failed", n)
+		}
+	}
+}
+
+func TestRenormalizeIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := randContractive(rng, 5, 0.9)
+	out, err := Renormalize(s, 50, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equalish(s, 1e-14) {
+		t.Fatal("Renormalize(50→50) must be the identity")
+	}
+}
+
+func TestRenormalizeMatchesImpedancePath(t *testing.T) {
+	// Renormalizing directly must agree with going through Z:
+	// S' = ZToS(SToZ(S, r0), r1).
+	rng := rand.New(rand.NewSource(5))
+	for _, r1 := range []float64{1, 10, 50, 85, 200} {
+		s := randContractive(rng, 6, 0.85)
+		direct, err := Renormalize(s, 50, r1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		z, err := SToZ(s, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaZ, err := ZToS(z, r1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !direct.Equalish(viaZ, 1e-9) {
+			t.Fatalf("r1=%g: Möbius renormalization disagrees with impedance path", r1)
+		}
+	}
+}
+
+func TestRenormalizeGroupProperty(t *testing.T) {
+	// R0→R1 followed by R1→R2 equals R0→R2.
+	rng := rand.New(rand.NewSource(6))
+	s := randContractive(rng, 4, 0.9)
+	s1, err := Renormalize(s, 50, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Renormalize(s1, 10, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sDirect, err := Renormalize(s, 50, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Equalish(sDirect, 1e-9) {
+		t.Fatal("renormalization does not compose")
+	}
+}
+
+func TestRenormalizePreservesPassivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(6)
+		s := randContractive(rng, n, 0.999)
+		r1 := math.Exp(rng.Float64()*6-3) * 50 // 2.5 Ω … 1 kΩ
+		out, err := Renormalize(s, 50, r1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sig := mat.MaxSingularValue(out); sig > 1+1e-9 {
+			t.Fatalf("trial %d: renormalization to %.3g Ω broke passivity: σmax=%v", trial, r1, sig)
+		}
+	}
+}
+
+func TestQuickRoundTripsHold(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	f := func(seed int64, r0Scale float64) bool {
+		local := rand.New(rand.NewSource(seed))
+		n := 1 + local.Intn(5)
+		r0 := 5 + 100*math.Abs(math.Mod(r0Scale, 1))
+		s := randContractive(rng, n, 0.9)
+		z, err := SToZ(s, r0)
+		if err != nil {
+			return false
+		}
+		back, err := ZToS(z, r0)
+		if err != nil {
+			return false
+		}
+		y, err := SToY(s, r0)
+		if err != nil {
+			return false
+		}
+		back2, err := YToS(y, r0)
+		if err != nil {
+			return false
+		}
+		return back.Equalish(s, 1e-8) && back2.Equalish(s, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingularConversionsReportErrors(t *testing.T) {
+	// S = I is an ideally open port: I−S singular, Z undefined.
+	s := mat.CIdentity(3)
+	if _, err := SToZ(s, 50); err == nil {
+		t.Fatal("SToZ(I) should fail")
+	}
+	// S = −I is an ideal short: I+S singular, Y undefined.
+	sm := mat.CIdentity(3).Scale(-1)
+	if _, err := SToY(sm, 50); err == nil {
+		t.Fatal("SToY(−I) should fail")
+	}
+}
+
+func TestBadArguments(t *testing.T) {
+	s := mat.NewCMatrix(2, 3)
+	if _, err := SToZ(s, 50); err == nil {
+		t.Fatal("non-square S must be rejected")
+	}
+	sq := mat.NewCMatrix(2, 2)
+	if _, err := SToZ(sq, 0); err == nil {
+		t.Fatal("R0=0 must be rejected")
+	}
+	if _, err := Renormalize(sq, 50, -1); err == nil {
+		t.Fatal("negative target R0 must be rejected")
+	}
+}
+
+func TestKnownSeriesImpedance(t *testing.T) {
+	// A 1-port with Z = R + jωL at some frequency, converted to S and back.
+	z := mat.NewCMatrix(1, 1)
+	z.Set(0, 0, complex(5, 30))
+	s, err := ZToS(z, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (complex(5, 30) - 50) / (complex(5, 30) + 50)
+	if cmplx.Abs(s.At(0, 0)-want) > 1e-12 {
+		t.Fatalf("S=%v want %v", s.At(0, 0), want)
+	}
+}
+
+func TestSweepVariantsMatchScalarCalls(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var samples []*mat.CMatrix
+	for k := 0; k < 5; k++ {
+		samples = append(samples, randContractive(rng, 3, 0.8))
+	}
+	zs, err := SweepSToZ(samples, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ys, err := SweepSToY(samples, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := SweepRenormalize(samples, 50, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backZ, err := SweepZToS(zs, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backY, err := SweepYToS(ys, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range samples {
+		z1, _ := SToZ(samples[k], 50)
+		if !zs[k].Equalish(z1, 1e-12) {
+			t.Fatalf("sweep Z mismatch at %d", k)
+		}
+		if !backZ[k].Equalish(samples[k], 1e-9) || !backY[k].Equalish(samples[k], 1e-9) {
+			t.Fatalf("sweep round trip mismatch at %d", k)
+		}
+		r1, _ := Renormalize(samples[k], 50, 20)
+		if !rs[k].Equalish(r1, 1e-12) {
+			t.Fatalf("sweep renormalize mismatch at %d", k)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package statespace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mat"
+)
+
+// randSys builds a random stable system with block-diagonal dynamics.
+func randSys(rng *rand.Rand, n, inputs, outputs int) *System {
+	a := mat.NewMatrix(n, n)
+	for k := 0; k < n; {
+		if k+1 < n && rng.Float64() < 0.5 {
+			al := -0.4 - rng.Float64()
+			be := 0.5 + 2*rng.Float64()
+			a.Set(k, k, al)
+			a.Set(k, k+1, be)
+			a.Set(k+1, k, -be)
+			a.Set(k+1, k+1, al)
+			k += 2
+			continue
+		}
+		a.Set(k, k, -0.2-rng.Float64())
+		k++
+	}
+	b := mat.NewMatrix(n, inputs)
+	c := mat.NewMatrix(outputs, n)
+	d := mat.NewMatrix(outputs, inputs)
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	for i := range c.Data {
+		c.Data[i] = rng.NormFloat64()
+	}
+	for i := range d.Data {
+		d.Data[i] = 0.2 * rng.NormFloat64()
+	}
+	return MustNew(a, b, c, d)
+}
+
+func TestQuickSeriesIsTransferProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	f := func(seed int64, omegaRaw float64) bool {
+		local := rand.New(rand.NewSource(seed))
+		p := 1 + local.Intn(3)
+		q := 1 + local.Intn(3)
+		r := 1 + local.Intn(3)
+		g := randSys(rng, 1+local.Intn(6), q, r) // G: q inputs → r outputs
+		h := randSys(rng, 1+local.Intn(6), p, q) // H: p inputs → q outputs
+		gh, err := Series(g, h)
+		if err != nil {
+			return false
+		}
+		omega := math.Mod(math.Abs(omegaRaw), 50)
+		lhs, err := gh.Eval(omega)
+		if err != nil {
+			return false
+		}
+		gw, err := g.Eval(omega)
+		if err != nil {
+			return false
+		}
+		hw, err := h.Eval(omega)
+		if err != nil {
+			return false
+		}
+		return lhs.Equalish(gw.Mul(hw), 1e-8*(1+lhs.MaxAbs()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSeriesOrderAdds(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	g := randSys(rng, 5, 2, 2)
+	h := randSys(rng, 7, 2, 2)
+	gh, err := Series(g, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gh.Order() != 12 {
+		t.Fatalf("series order %d want 12", gh.Order())
+	}
+	if gh.Inputs() != 2 || gh.Outputs() != 2 {
+		t.Fatalf("series io %d×%d want 2×2", gh.Outputs(), gh.Inputs())
+	}
+}
+
+func TestQuickGramianPositiveSemidefinite(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	for trial := 0; trial < 15; trial++ {
+		sys := randSys(rng, 2+rng.Intn(8), 1+rng.Intn(3), 2)
+		p, err := sys.Gramian()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// xᵀPx ≥ 0 for random directions.
+		n := sys.Order()
+		for k := 0; k < 10; k++ {
+			x := make([]float64, n)
+			for i := range x {
+				x[i] = rng.NormFloat64()
+			}
+			if q := mat.Dot(x, p.MulVec(x)); q < -1e-10 {
+				t.Fatalf("trial %d: Gramian indefinite (xᵀPx = %g)", trial, q)
+			}
+		}
+	}
+}
+
+func TestQuickEvalConjugateSymmetry(t *testing.T) {
+	// Real systems satisfy H(−jω) = conj(H(jω)).
+	rng := rand.New(rand.NewSource(64))
+	sys := randSys(rng, 6, 2, 2)
+	for _, omega := range []float64{0.1, 1, 3, 17} {
+		hp, err := sys.Eval(omega)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hm, err := sys.Eval(-omega)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 2; j++ {
+				a := hp.At(i, j)
+				b := hm.At(i, j)
+				if math.Abs(real(a)-real(b)) > 1e-10 || math.Abs(imag(a)+imag(b)) > 1e-10 {
+					t.Fatalf("conjugate symmetry violated at ω=%g (%d,%d)", omega, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	sys := randSys(rng, 4, 1, 1)
+	c := sys.Clone()
+	c.A.Set(0, 0, 99)
+	if sys.A.At(0, 0) == 99 {
+		t.Fatal("Clone must not share storage")
+	}
+}

@@ -1,0 +1,142 @@
+package tdsim
+
+import (
+	"fmt"
+
+	"repro/internal/pdn"
+)
+
+// shortConductance matches pdn.Short's large finite admittance so that the
+// time- and frequency-domain analyses see the same termination.
+const shortConductance = 1e8
+
+// stamp is the discrete-time companion model of one port termination for a
+// fixed step size: at every step the load current into the termination is
+//
+//	i_{k+1} = Geq·v_{k+1} + hist_k,
+//
+// where Geq is constant and hist_k depends on the stamp state. After the
+// port voltage v_{k+1} has been solved, advance(v, i) updates the state.
+type stamp interface {
+	// Geq returns the constant companion conductance.
+	Geq() float64
+	// Hist returns the history current term for the upcoming step.
+	Hist() float64
+	// Advance consumes the solved port voltage and load current of the
+	// step just completed.
+	Advance(v, i float64)
+}
+
+// staticStamp is a memoryless conductance (open, short, resistor).
+type staticStamp struct{ g float64 }
+
+func (s *staticStamp) Geq() float64         { return s.g }
+func (s *staticStamp) Hist() float64        { return 0 }
+func (s *staticStamp) Advance(_, _ float64) {}
+
+// rlcStamp is the trapezoidal (or backward-Euler) companion of a series
+// R-L-C branch. State: branch current i and capacitor voltage vC.
+//
+// Trapezoidal discretization of v = R·i + L·di/dt + vC, C·dvC/dt = i gives
+//
+//	i' = (½·v' + ½·v + β·i − vC)/α,
+//	α = L/h + R/2 + h/(4C),  β = L/h − R/2 − h/(4C),
+//	vC' = vC + h/(2C)·(i' + i),
+//
+// where primes denote step k+1 and the C terms drop when C = 0 (vC ≡ 0).
+// Backward Euler replaces the averages by fully implicit terms:
+//
+//	i' = (v' + (L/h)·i − vC)/αBE,  αBE = L/h + R + h/C,
+//	vC' = vC + (h/C)·i'.
+type rlcStamp struct {
+	r, l, c float64
+	h       float64
+	be      bool // backward Euler instead of trapezoidal
+
+	alpha, beta float64
+	geq         float64
+
+	i, vC float64 // state
+	v     float64 // previous port voltage (trapezoidal history)
+}
+
+func newRLCStamp(r, l, c, h float64, be bool) *rlcStamp {
+	s := &rlcStamp{r: r, l: l, c: c, h: h, be: be}
+	if be {
+		s.alpha = r
+		if l > 0 {
+			s.alpha += l / h
+		}
+		if c > 0 {
+			s.alpha += h / c
+		}
+		s.geq = 1 / s.alpha
+	} else {
+		s.alpha = r / 2
+		s.beta = -r / 2
+		if l > 0 {
+			s.alpha += l / h
+			s.beta += l / h
+		}
+		if c > 0 {
+			s.alpha += h / (4 * c)
+			s.beta -= h / (4 * c)
+		}
+		s.geq = 1 / (2 * s.alpha)
+	}
+	return s
+}
+
+func (s *rlcStamp) Geq() float64 { return s.geq }
+
+func (s *rlcStamp) Hist() float64 {
+	if s.be {
+		h := -s.vC
+		if s.l > 0 {
+			h += s.l / s.h * s.i
+		}
+		return h / s.alpha
+	}
+	return (0.5*s.v + s.beta*s.i - s.vC) / s.alpha
+}
+
+func (s *rlcStamp) Advance(v, i float64) {
+	if s.c > 0 {
+		if s.be {
+			s.vC += s.h / s.c * i
+		} else {
+			s.vC += s.h / (2 * s.c) * (i + s.i)
+		}
+	}
+	s.i = i
+	s.v = v
+}
+
+// newStamp builds the companion model of a pdn.Termination for step size h.
+// Degenerate series branches (R=L=C=0) behave as shorts.
+func newStamp(t pdn.Termination, h float64, be bool) (stamp, error) {
+	switch v := t.(type) {
+	case pdn.Open:
+		return &staticStamp{g: 0}, nil
+	case pdn.Short:
+		return &staticStamp{g: shortConductance}, nil
+	case pdn.Resistor:
+		if v.R <= 0 {
+			return nil, fmt.Errorf("tdsim: resistor termination needs R > 0, got %g", v.R)
+		}
+		return &staticStamp{g: 1 / v.R}, nil
+	case pdn.SeriesRLC:
+		if v.L <= 0 && v.C <= 0 {
+			if v.R <= 0 {
+				return &staticStamp{g: shortConductance}, nil
+			}
+			return &staticStamp{g: 1 / v.R}, nil
+		}
+		if v.R < 0 || v.L < 0 || v.C < 0 {
+			return nil, fmt.Errorf("tdsim: series RLC termination needs nonnegative elements, got %s", v.Describe())
+		}
+		return newRLCStamp(v.R, v.L, v.C, h, be), nil
+	default:
+		return nil, fmt.Errorf("tdsim: no time-domain companion model for termination %q", t.Describe())
+	}
+}

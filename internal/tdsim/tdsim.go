@@ -1,0 +1,382 @@
+// Package tdsim co-simulates a scattering macromodel with its nominal
+// termination network in the time domain — the "extensive transient
+// simulations" that the paper's §I flow feeds its macromodels into, and the
+// step where passivity decides between a usable model and a numerically
+// exploding one (§II).
+//
+// The scattering state-space model {A,B,C,D} (waves normalized to R0) is
+// first converted to its admittance realization
+//
+//	I = C_Y·x + D_Y·V,  x' = A_Y·x + B_Y·V,
+//	A_Y = A − B·K·C,  B_Y = B·K/√R0,  C_Y = −(2/√R0)·K·C,
+//	D_Y = (I−D)·K/R0,  K = (I+D)⁻¹,
+//
+// then discretized with the trapezoidal rule (A-stable, no artificial
+// damping — the honest integrator for passivity experiments) or backward
+// Euler (adds numerical damping, provided for comparison). Each port is
+// closed by the trapezoidal companion model of its termination and by the
+// Norton current sources; the per-step algebraic system shares one LU
+// factorization.
+//
+// The simulator also integrates the instantaneous power Σᵢ vᵢ·iᵢ delivered
+// to the macromodel. For a passive model started at rest the cumulative
+// energy can never go negative; a non-passive model can be caught
+// generating energy even when the waveforms stay bounded.
+package tdsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+	"repro/internal/pdn"
+	"repro/internal/statespace"
+)
+
+// Method selects the integration rule.
+type Method int
+
+// Integration rules.
+const (
+	// Trapezoidal is the A-stable, non-dissipative default.
+	Trapezoidal Method = iota
+	// BackwardEuler adds numerical damping (L-stable); useful to show how a
+	// lossy integrator can mask model non-passivity.
+	BackwardEuler
+)
+
+// String returns the method name.
+func (m Method) String() string {
+	if m == BackwardEuler {
+		return "backward-euler"
+	}
+	return "trapezoidal"
+}
+
+// Source is a Norton current source injected into one port.
+type Source struct {
+	Port int
+	Wave Waveform
+}
+
+// Options configures a transient run.
+type Options struct {
+	// Dt is the time step (s).
+	Dt float64
+	// Steps is the number of time steps.
+	Steps int
+	// Method selects the integrator (default Trapezoidal).
+	Method Method
+	// RecordEvery decimates the stored output (default 1 = every step).
+	RecordEvery int
+}
+
+// Result holds the recorded waveforms of a run.
+type Result struct {
+	// T lists recorded time points (s), starting at 0.
+	T []float64
+	// V[k][p] is the voltage at port p at T[k].
+	V [][]float64
+	// I[k][p] is the current into macromodel port p at T[k].
+	I [][]float64
+	// Energy[k] is the cumulative energy delivered to the macromodel up to
+	// T[k] (trapezoidal accumulation of Σ_p v_p·i_p).
+	Energy []float64
+	// Method echoes the integrator used.
+	Method Method
+}
+
+// ErrBadOptions reports invalid simulation options.
+var ErrBadOptions = errors.New("tdsim: invalid options")
+
+// Simulator is a prepared transient co-simulation. Build it with New, run
+// it with Run; a Simulator is single-use (Run consumes its state).
+type Simulator struct {
+	opts    Options
+	ports   int
+	n       int
+	phi     *mat.Matrix // n×n state propagator
+	gam1    *mat.Matrix // n×p weight of v_k (trapezoidal only)
+	gam2    *mat.Matrix // n×p weight of v_{k+1}
+	cy, dy  *mat.Matrix
+	cyPhi   *mat.Matrix // p×n
+	cyGam1  *mat.Matrix // p×p
+	lu      *mat.LU     // factored p×p step matrix
+	stamps  []stamp
+	sources []Source
+}
+
+// New prepares a transient co-simulation of a scattering state-space system
+// (normalized to r0) terminated by terms and excited by sources.
+func New(sys *statespace.System, r0 float64, terms []pdn.Termination, sources []Source, opts Options) (*Simulator, error) {
+	p := sys.Outputs()
+	if sys.Inputs() != p {
+		return nil, fmt.Errorf("tdsim: scattering system must be square, got %d×%d", sys.Outputs(), sys.Inputs())
+	}
+	if len(terms) != p {
+		return nil, fmt.Errorf("tdsim: %d terminations for %d ports", len(terms), p)
+	}
+	if r0 <= 0 {
+		return nil, fmt.Errorf("%w: r0 = %g", ErrBadOptions, r0)
+	}
+	if opts.Dt <= 0 || opts.Steps <= 0 {
+		return nil, fmt.Errorf("%w: Dt=%g Steps=%d", ErrBadOptions, opts.Dt, opts.Steps)
+	}
+	if opts.RecordEvery <= 0 {
+		opts.RecordEvery = 1
+	}
+	for _, src := range sources {
+		if src.Port < 0 || src.Port >= p {
+			return nil, fmt.Errorf("tdsim: source port %d out of range [0,%d)", src.Port, p)
+		}
+		if src.Wave == nil {
+			return nil, fmt.Errorf("tdsim: source at port %d has nil waveform", src.Port)
+		}
+	}
+	be := opts.Method == BackwardEuler
+
+	// Admittance realization.
+	n := sys.Order()
+	iPlusD := mat.Identity(p).Add(sys.D)
+	luD, err := mat.LUFactor(iPlusD)
+	if err != nil {
+		return nil, fmt.Errorf("tdsim: I+D singular (D has an eigenvalue at −1): %w", err)
+	}
+	k := luD.Solve(mat.Identity(p))
+	sqrtR0 := math.Sqrt(r0)
+	kc := k.Mul(sys.C)                                    // p×n
+	ay := sys.A.Sub(sys.B.Mul(kc))                        // n×n
+	by := sys.B.Mul(k).Scale(1 / sqrtR0)                  // n×p
+	cy := kc.Scale(-2 / sqrtR0)                           // p×n
+	dy := mat.Identity(p).Sub(sys.D).Mul(k).Scale(1 / r0) // p×p
+
+	sim := &Simulator{opts: opts, ports: p, n: n, cy: cy, dy: dy, sources: sources}
+
+	// Discretization.
+	h := opts.Dt
+	if n > 0 {
+		var e, f *mat.Matrix
+		if be {
+			e = mat.Identity(n).Sub(ay.Scale(h))
+			f = mat.Identity(n)
+		} else {
+			e = mat.Identity(n).Sub(ay.Scale(h / 2))
+			f = mat.Identity(n).Add(ay.Scale(h / 2))
+		}
+		luE, err := mat.LUFactor(e)
+		if err != nil {
+			return nil, fmt.Errorf("tdsim: discretization matrix singular at Dt=%g: %w", h, err)
+		}
+		sim.phi = luE.Solve(f)
+		if be {
+			sim.gam2 = luE.Solve(by.Scale(h))
+			sim.gam1 = mat.NewMatrix(n, p)
+		} else {
+			sim.gam2 = luE.Solve(by.Scale(h / 2))
+			sim.gam1 = sim.gam2.Clone()
+		}
+		sim.cyPhi = cy.Mul(sim.phi)
+		sim.cyGam1 = cy.Mul(sim.gam1)
+	}
+
+	// Termination companions and the per-step algebraic system
+	// M = C_Y·Γ₂ + D_Y + diag(Geq).
+	sim.stamps = make([]stamp, p)
+	m := dy.Clone()
+	if n > 0 {
+		m = m.Add(cy.Mul(sim.gam2))
+	}
+	for i, t := range terms {
+		st, err := newStamp(t, h, be)
+		if err != nil {
+			return nil, err
+		}
+		sim.stamps[i] = st
+		m.Set(i, i, m.At(i, i)+st.Geq())
+	}
+	lu, err := mat.LUFactor(m)
+	if err != nil {
+		return nil, fmt.Errorf("tdsim: step matrix singular: %w", err)
+	}
+	sim.lu = lu
+	return sim, nil
+}
+
+// Run integrates the co-simulation from zero initial conditions.
+func (s *Simulator) Run() *Result {
+	p, n := s.ports, s.n
+	h := s.opts.Dt
+	x := make([]float64, n)
+	vPrev := make([]float64, p)
+	iPrev := make([]float64, p)
+	energy := 0.0
+	powerPrev := 0.0
+
+	res := &Result{Method: s.opts.Method}
+	record := func(t float64, v, ii []float64) {
+		res.T = append(res.T, t)
+		res.V = append(res.V, append([]float64(nil), v...))
+		res.I = append(res.I, append([]float64(nil), ii...))
+		res.Energy = append(res.Energy, energy)
+	}
+	record(0, vPrev, iPrev)
+
+	rhs := make([]float64, p)
+	for k := 1; k <= s.opts.Steps; k++ {
+		t := float64(k) * h
+		for i := range rhs {
+			rhs[i] = 0
+		}
+		for _, src := range s.sources {
+			rhs[src.Port] += src.Wave.At(t)
+		}
+		if n > 0 {
+			xp := s.cyPhi.MulVec(x)
+			vp := s.cyGam1.MulVec(vPrev)
+			for i := 0; i < p; i++ {
+				rhs[i] -= xp[i] + vp[i]
+			}
+		}
+		for i, st := range s.stamps {
+			rhs[i] -= st.Hist()
+		}
+		v := s.lu.SolveVec(rhs)
+
+		// State update and macromodel port currents.
+		var iNow []float64
+		if n > 0 {
+			xNew := s.phi.MulVec(x)
+			g1 := s.gam1.MulVec(vPrev)
+			g2 := s.gam2.MulVec(v)
+			for i := range xNew {
+				xNew[i] += g1[i] + g2[i]
+			}
+			iNow = s.cy.MulVec(xNew)
+			dv := s.dy.MulVec(v)
+			for i := range iNow {
+				iNow[i] += dv[i]
+			}
+			x = xNew
+		} else {
+			iNow = s.dy.MulVec(v)
+		}
+
+		// Advance termination states with their solved load currents.
+		for i, st := range s.stamps {
+			st.Advance(v[i], st.Geq()*v[i]+st.Hist())
+		}
+
+		// Energy bookkeeping (trapezoidal on instantaneous power).
+		power := 0.0
+		for i := 0; i < p; i++ {
+			power += v[i] * iNow[i]
+		}
+		energy += h / 2 * (powerPrev + power)
+		powerPrev = power
+
+		copy(vPrev, v)
+		copy(iPrev, iNow)
+		if k%s.opts.RecordEvery == 0 || k == s.opts.Steps {
+			record(t, v, iNow)
+		}
+	}
+	return res
+}
+
+// PortVoltage extracts the voltage waveform of one port.
+func (r *Result) PortVoltage(port int) []float64 {
+	out := make([]float64, len(r.V))
+	for k := range r.V {
+		out[k] = r.V[k][port]
+	}
+	return out
+}
+
+// PortCurrent extracts the macromodel port current waveform of one port.
+func (r *Result) PortCurrent(port int) []float64 {
+	out := make([]float64, len(r.I))
+	for k := range r.I {
+		out[k] = r.I[k][port]
+	}
+	return out
+}
+
+// MaxAbsVoltage returns the worst-case |v| of one port — the droop metric
+// of a PDN transient run.
+func (r *Result) MaxAbsVoltage(port int) float64 {
+	worst := 0.0
+	for k := range r.V {
+		if a := math.Abs(r.V[k][port]); a > worst {
+			worst = a
+		}
+	}
+	return worst
+}
+
+// FinalVoltage returns the last recorded voltage at a port.
+func (r *Result) FinalVoltage(port int) float64 {
+	if len(r.V) == 0 {
+		return 0
+	}
+	return r.V[len(r.V)-1][port]
+}
+
+// MinEnergy returns the lowest cumulative energy seen — negative values
+// flag a macromodel generating energy (non-passive behaviour).
+func (r *Result) MinEnergy() float64 {
+	low := math.Inf(1)
+	for _, e := range r.Energy {
+		if e < low {
+			low = e
+		}
+	}
+	return low
+}
+
+// FitTone least-squares-fits v_port(t) ≈ A·sin(2πft) + B·cos(2πft) + C + D·t
+// over the samples with t ≥ tStart and returns the tone amplitude √(A²+B²)
+// and phase atan2(B, A) — the steady-state response estimate for
+// single-tone excitations. The constant and linear terms absorb the slow
+// tails of low-frequency PDN poles that have not fully decayed.
+func (r *Result) FitTone(port int, freqHz, tStart float64) (amp, phase float64) {
+	const nb = 4
+	var s [nb][nb]float64
+	var b [nb]float64
+	w := 2 * math.Pi * freqHz
+	// Center and scale the drift coordinate for conditioning.
+	tEnd := tStart
+	if len(r.T) > 0 {
+		tEnd = r.T[len(r.T)-1]
+	}
+	tMid, tHalf := (tStart+tEnd)/2, math.Max((tEnd-tStart)/2, 1e-300)
+	cnt := 0
+	for k, t := range r.T {
+		if t < tStart {
+			continue
+		}
+		basis := [nb]float64{math.Sin(w * t), math.Cos(w * t), 1, (t - tMid) / tHalf}
+		y := r.V[k][port]
+		for i := 0; i < nb; i++ {
+			for j := 0; j < nb; j++ {
+				s[i][j] += basis[i] * basis[j]
+			}
+			b[i] += basis[i] * y
+		}
+		cnt++
+	}
+	if cnt < nb+1 {
+		return 0, 0
+	}
+	m := mat.NewMatrix(nb, nb)
+	for i := 0; i < nb; i++ {
+		for j := 0; j < nb; j++ {
+			m.Set(i, j, s[i][j])
+		}
+	}
+	x, err := mat.SolveLin(m, b[:])
+	if err != nil {
+		return 0, 0
+	}
+	return math.Hypot(x[0], x[1]), math.Atan2(x[1], x[0])
+}

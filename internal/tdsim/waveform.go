@@ -1,0 +1,138 @@
+package tdsim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Waveform is a scalar excitation waveform evaluated at absolute time t (s).
+type Waveform interface {
+	// At returns the waveform value at time t.
+	At(t float64) float64
+	// Describe returns a short human-readable summary.
+	Describe() string
+}
+
+// Step is a current step of the given amplitude starting at T0 with a
+// linear rise of duration Rise (0 = ideal step). It models the synchronous
+// switching onset of the paper's active device blocks.
+type Step struct {
+	T0        float64 // onset time (s)
+	Rise      float64 // linear rise time (s); 0 for an ideal step
+	Amplitude float64
+}
+
+// At implements Waveform.
+func (w Step) At(t float64) float64 {
+	switch {
+	case t < w.T0:
+		return 0
+	case w.Rise <= 0 || t >= w.T0+w.Rise:
+		return w.Amplitude
+	default:
+		return w.Amplitude * (t - w.T0) / w.Rise
+	}
+}
+
+// Describe implements Waveform.
+func (w Step) Describe() string {
+	return fmt.Sprintf("step %.3g A at %.3g s (rise %.3g s)", w.Amplitude, w.T0, w.Rise)
+}
+
+// Pulse is a trapezoidal pulse: rise, hold for Width, fall. With Period > 0
+// the pulse repeats, modelling a periodic switching activity burst.
+type Pulse struct {
+	T0        float64 // onset of the first pulse (s)
+	Rise      float64 // rise and fall time (s)
+	Width     float64 // flat-top duration (s)
+	Amplitude float64
+	Period    float64 // repetition period (s); 0 for a single pulse
+}
+
+// At implements Waveform.
+func (w Pulse) At(t float64) float64 {
+	if t < w.T0 {
+		return 0
+	}
+	tau := t - w.T0
+	if w.Period > 0 {
+		tau = math.Mod(tau, w.Period)
+	}
+	rise := w.Rise
+	if rise <= 0 {
+		rise = 0
+	}
+	switch {
+	case tau < rise:
+		if rise == 0 {
+			return w.Amplitude
+		}
+		return w.Amplitude * tau / rise
+	case tau < rise+w.Width:
+		return w.Amplitude
+	case tau < 2*rise+w.Width && rise > 0:
+		return w.Amplitude * (1 - (tau-rise-w.Width)/rise)
+	default:
+		return 0
+	}
+}
+
+// Describe implements Waveform.
+func (w Pulse) Describe() string {
+	return fmt.Sprintf("pulse %.3g A width %.3g s period %.3g s", w.Amplitude, w.Width, w.Period)
+}
+
+// Sine is a sinusoidal excitation switched on at T0.
+type Sine struct {
+	Freq      float64 // Hz
+	Amplitude float64
+	Phase     float64 // radians
+	T0        float64 // switch-on time (s)
+}
+
+// At implements Waveform.
+func (w Sine) At(t float64) float64 {
+	if t < w.T0 {
+		return 0
+	}
+	return w.Amplitude * math.Sin(2*math.Pi*w.Freq*(t-w.T0)+w.Phase)
+}
+
+// Describe implements Waveform.
+func (w Sine) Describe() string {
+	return fmt.Sprintf("sine %.3g A at %.3g Hz", w.Amplitude, w.Freq)
+}
+
+// Scale returns w with its value multiplied by gain — used to split one
+// switching waveform over several die ports with per-port shares.
+func Scale(w Waveform, gain float64) Waveform { return scaled{w: w, gain: gain} }
+
+type scaled struct {
+	w    Waveform
+	gain float64
+}
+
+// At implements Waveform.
+func (s scaled) At(t float64) float64 { return s.gain * s.w.At(t) }
+
+// Describe implements Waveform.
+func (s scaled) Describe() string {
+	return fmt.Sprintf("%.3g × (%s)", s.gain, s.w.Describe())
+}
+
+// Custom wraps an arbitrary function of time as a Waveform.
+type Custom struct {
+	F    func(t float64) float64
+	Name string
+}
+
+// At implements Waveform.
+func (w Custom) At(t float64) float64 { return w.F(t) }
+
+// Describe implements Waveform.
+func (w Custom) Describe() string {
+	if w.Name != "" {
+		return w.Name
+	}
+	return "custom waveform"
+}

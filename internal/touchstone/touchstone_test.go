@@ -1,0 +1,161 @@
+package touchstone
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mat"
+)
+
+func TestReadOptionLineVariants(t *testing.T) {
+	src := `! a comment
+# MHz S RI R 75
+1.0 0.1 0.2 0.3 -0.4 0.3 -0.4 0.5 0.6
+`
+	d, err := Read(strings.NewReader(src), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.R0 != 75 {
+		t.Fatalf("R0 = %v want 75", d.R0)
+	}
+	if d.Freq[0] != 1e6 {
+		t.Fatalf("freq = %v want 1e6", d.Freq[0])
+	}
+	// 2-port column-major order: S11 S21 S12 S22.
+	if d.Matrices[0].At(0, 0) != complex(0.1, 0.2) {
+		t.Fatalf("S11 = %v", d.Matrices[0].At(0, 0))
+	}
+	if d.Matrices[0].At(1, 0) != complex(0.3, -0.4) {
+		t.Fatalf("S21 = %v", d.Matrices[0].At(1, 0))
+	}
+	if d.Matrices[0].At(1, 1) != complex(0.5, 0.6) {
+		t.Fatalf("S22 = %v", d.Matrices[0].At(1, 1))
+	}
+}
+
+func TestReadMAFormat(t *testing.T) {
+	src := `# Hz S MA R 50
+100 0.5 90 0 0 0 0 1 0
+`
+	d, err := Read(strings.NewReader(src), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s11 := d.Matrices[0].At(0, 0)
+	if math.Abs(real(s11)) > 1e-12 || math.Abs(imag(s11)-0.5) > 1e-12 {
+		t.Fatalf("MA decode: %v want 0.5j", s11)
+	}
+}
+
+func TestReadDBFormat(t *testing.T) {
+	src := `# Hz S DB
+1000 -20 0 0 0 0 0 -20 0
+`
+	d, err := Read(strings.NewReader(src), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s11 := d.Matrices[0].At(0, 0)
+	if math.Abs(real(s11)-0.1) > 1e-12 {
+		t.Fatalf("DB decode: %v want 0.1", s11)
+	}
+}
+
+func TestReadMultilineNPort(t *testing.T) {
+	// 3-port with values wrapped across lines arbitrarily.
+	src := `# Hz S RI R 50
+1e6
+ 0.1 0 0.2 0 0.3 0
+ 0.2 0 0.4 0 0.5 0
+ 0.3 0 0.5 0
+ 0.6 0
+2e6 0.1 0.1 0.2 0 0.3 0 0.2 0 0.4 0 0.5 0 0.3 0 0.5 0 0.6 0
+`
+	d, err := Read(strings.NewReader(src), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Freq) != 2 {
+		t.Fatalf("points %d want 2", len(d.Freq))
+	}
+	if d.Matrices[0].At(2, 1) != complex(0.5, 0) {
+		t.Fatalf("S32 = %v", d.Matrices[0].At(2, 1))
+	}
+	if d.Matrices[1].At(0, 0) != complex(0.1, 0.1) {
+		t.Fatalf("point 2 S11 = %v", d.Matrices[1].At(0, 0))
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ports := 1 + rng.Intn(5)
+		points := 1 + rng.Intn(8)
+		d := &Data{Parameter: ParamS, R0: 50}
+		for k := 0; k < points; k++ {
+			d.Freq = append(d.Freq, math.Pow(10, 3+6*rng.Float64()))
+			m := mat.NewCMatrix(ports, ports)
+			for i := range m.Data {
+				m.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			}
+			d.Matrices = append(d.Matrices, m)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, d); err != nil {
+			return false
+		}
+		back, err := Read(&buf, ports)
+		if err != nil {
+			return false
+		}
+		if len(back.Freq) != points || back.R0 != 50 {
+			return false
+		}
+		for k := range d.Freq {
+			if math.Abs(back.Freq[k]-d.Freq[k]) > 1e-6*d.Freq[k] {
+				return false
+			}
+			if !back.Matrices[k].Equalish(d.Matrices[k], 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := Read(strings.NewReader("# Hz S RI\n1 2 3\n"), 2); err == nil {
+		t.Fatalf("truncated record accepted")
+	}
+	if _, err := Read(strings.NewReader("# Hz S RI\nfoo\n"), 1); err == nil {
+		t.Fatalf("non-numeric accepted")
+	}
+	if _, err := Read(strings.NewReader("# Hz S RI\n# Hz S RI\n1 0 0\n"), 1); err == nil {
+		t.Fatalf("double option line accepted")
+	}
+	if _, err := Read(strings.NewReader(""), 0); err == nil {
+		t.Fatalf("zero ports accepted")
+	}
+}
+
+func TestCommentsStripped(t *testing.T) {
+	src := `! leading comment
+# Hz S RI R 50
+1e3 0.5 0 ! trailing comment
+`
+	d, err := Read(strings.NewReader(src), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Matrices[0].At(0, 0) != complex(0.5, 0) {
+		t.Fatalf("comment handling broke parsing")
+	}
+}

@@ -1,0 +1,147 @@
+package vecfit
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/rational"
+)
+
+// knownMinPhase builds a minimum-phase test system from poles/zeros/gain.
+func knownMinPhase(t *testing.T) *rational.Model {
+	t.Helper()
+	zeros := []complex128{complex(-0.5, 0), complex(-4, 9), complex(-4, -9)}
+	poles := []complex128{complex(-1, 0), complex(-2, 6), complex(-2, -6), complex(-20, 0)}
+	m, err := rational.FromZPK(zeros, poles, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestFitMagnitudeRecoversKnownSpectrum(t *testing.T) {
+	ref := knownMinPhase(t)
+	omega := logspace(0.01, 200, 150)
+	xi := make([]float64, len(omega))
+	for i, w := range omega {
+		xi[i] = cmplx.Abs(ref.EvalEntry(0, 0, w))
+	}
+	model, rep, err := FitMagnitude(omega, xi, MagOptions{Order: 4, Iterations: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RMSRelErr > 1e-4 {
+		t.Fatalf("magnitude RMS rel err %v too large", rep.RMSRelErr)
+	}
+	// The fitted model must be stable and minimum-phase is implied by the
+	// construction; verify stability of poles directly.
+	if !model.IsStable(0) {
+		t.Fatalf("magnitude fit unstable: %v", model.Poles)
+	}
+}
+
+func TestFitMagnitudePhaseIsMinimumPhase(t *testing.T) {
+	// The reconstructed Ξ̃ of a known minimum-phase system should match it
+	// up to sign: magnitude data determines a minimum-phase factor
+	// uniquely up to ±1.
+	ref := knownMinPhase(t)
+	omega := logspace(0.01, 200, 150)
+	xi := make([]float64, len(omega))
+	for i, w := range omega {
+		xi[i] = cmplx.Abs(ref.EvalEntry(0, 0, w))
+	}
+	model, _, err := FitMagnitude(omega, xi, MagOptions{Order: 4, Iterations: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare full complex responses (pick the sign from ω smallest).
+	h0 := model.EvalEntry(0, 0, omega[0])
+	r0 := ref.EvalEntry(0, 0, omega[0])
+	sign := 1.0
+	if real(h0)*real(r0) < 0 {
+		sign = -1
+	}
+	for _, w := range []float64{0.05, 0.3, 2, 11, 60} {
+		got := complex(sign, 0) * model.EvalEntry(0, 0, w)
+		want := ref.EvalEntry(0, 0, w)
+		if cmplx.Abs(got-want) > 2e-3*(1+cmplx.Abs(want)) {
+			t.Fatalf("phase reconstruction off at ω=%v: %v vs %v", w, got, want)
+		}
+	}
+}
+
+func TestFitMagnitudeSensitivityLikeShape(t *testing.T) {
+	// A sensitivity-like curve: high plateau at low frequency, deep valley,
+	// mild ripple at high frequency — similar to the paper's Fig. 3.
+	omega := logspace(2*math.Pi*1e3, 2*math.Pi*2e9, 200)
+	xi := make([]float64, len(omega))
+	for i, w := range omega {
+		f := w / (2 * math.Pi)
+		xi[i] = math.Sqrt(1.0/(1+math.Pow(f/1e5, 1.2)) + 1e-4 + 3e-4*math.Exp(-sq(math.Log10(f/3e7))))
+	}
+	model, rep, err := FitMagnitude(omega, xi, MagOptions{Order: 8, Iterations: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RMSRelErr > 0.15 {
+		t.Fatalf("sensitivity-shape fit too poor: RMS rel %v", rep.RMSRelErr)
+	}
+	if !model.IsStable(0) {
+		t.Fatalf("unstable weight model")
+	}
+	// All zeros must lie in the closed LHP (minimum phase) — verify via
+	// the transfer function having no RHP zeros: evaluate argument
+	// principle cheaply by checking |Ξ̃| matches data (already done) and
+	// poles stable (above); additionally no pole/zero ended up with
+	// positive real part in the assembled ZPK.
+	for _, p := range model.Poles {
+		if real(p) >= 0 {
+			t.Fatalf("pole %v not in LHP", p)
+		}
+	}
+}
+
+func sq(x float64) float64 { return x * x }
+
+func TestFitMagnitudeRejectsBadData(t *testing.T) {
+	omega := []float64{1, 2, 3, 4}
+	if _, _, err := FitMagnitude(omega, []float64{1, 2, -1, 1}, MagOptions{Order: 2}); err == nil {
+		t.Fatalf("negative magnitude accepted")
+	}
+	if _, _, err := FitMagnitude(omega, []float64{1, 2}, MagOptions{Order: 2}); err == nil {
+		t.Fatalf("length mismatch accepted")
+	}
+	if _, _, err := FitMagnitude(omega, []float64{1, 2, 3, 4}, MagOptions{Order: 0}); err == nil {
+		t.Fatalf("zero order accepted")
+	}
+}
+
+func TestSqrtToLHP(t *testing.T) {
+	// u = 4 ⇒ s-root −2; u = −9 (repaired) ⇒ −3; u pair 3±4i ⇒ −(2+i), −(2−i).
+	roots, repaired := sqrtToLHP([]complex128{4, -9, complex(3, 4), complex(3, -4)})
+	if repaired != 1 {
+		t.Fatalf("repaired = %d want 1", repaired)
+	}
+	if cmplx.Abs(roots[0]+2) > 1e-14 || cmplx.Abs(roots[1]+3) > 1e-14 {
+		t.Fatalf("real roots wrong: %v", roots)
+	}
+	if cmplx.Abs(roots[2]-complex(-2, -1)) > 1e-12 || cmplx.Abs(roots[3]-complex(-2, 1)) > 1e-12 {
+		t.Fatalf("complex roots wrong: %v", roots)
+	}
+}
+
+func BenchmarkFitMagnitudeOrder8(b *testing.B) {
+	omega := logspace(2*math.Pi*1e3, 2*math.Pi*2e9, 200)
+	xi := make([]float64, len(omega))
+	for i, w := range omega {
+		f := w / (2 * math.Pi)
+		xi[i] = math.Sqrt(1.0/(1+math.Pow(f/1e5, 1.2)) + 1e-4)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := FitMagnitude(omega, xi, MagOptions{Order: 8, Iterations: 20}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,564 @@
+package vecfit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+	"runtime"
+	"sync"
+
+	"repro/internal/mat"
+	"repro/internal/rational"
+)
+
+// Options configures a Vector Fitting run.
+type Options struct {
+	// NumPoles is the model order n (state dimension of the basis). Complex
+	// starting poles are used; an odd order adds one real pole.
+	NumPoles int
+	// Iterations bounds the pole-relocation sweeps (default 10).
+	Iterations int
+	// Weights holds one least-squares weight per frequency sample (optional;
+	// all ones when nil). This is where the sensitivity weighting w_k = Ξ_k
+	// of the paper's eq. (6) enters.
+	Weights []float64
+	// InitPoles overrides the automatic starting poles.
+	InitPoles []complex128
+	// Unrelaxed disables the relaxed nontriviality constraint (Gustavsen
+	// 2006) and uses the classical σ(s) = 1 + Σc̃φ formulation.
+	Unrelaxed bool
+	// SkipD omits the constant (direct-coupling) term from the fit.
+	SkipD bool
+	// FlipMode selects the pole-admissibility reflection (default FlipLHP).
+	FlipMode FlipMode
+	// Sequential disables the per-response goroutine pool (for tests).
+	Sequential bool
+	// ConstrainD, when positive, caps the largest singular value of the
+	// fitted direct-coupling matrix D at this value (e.g. 0.999 for
+	// scattering models that must be asymptotically passive). If the
+	// unconstrained D exceeds the cap it is clipped by singular-value
+	// truncation and the residues are re-identified with D held fixed, so
+	// the compensation is absorbed by the frequency-dependent part of the
+	// model (where downstream weighting can shape it) instead of leaving a
+	// frequency-flat passivity violation.
+	ConstrainD float64
+	// PoleTol: relative pole movement below which iteration stops early
+	// (default 1e-8).
+	PoleTol float64
+}
+
+// Report captures convergence diagnostics of a fit.
+type Report struct {
+	Iterations  int            // pole-relocation sweeps actually run
+	FinalPoles  []complex128   // canonical pair order
+	PoleHistory [][]complex128 // poles after each sweep
+	RMSErr      float64        // weighted RMS fit error over all entries/samples
+	MaxAbsErr   float64        // worst-case |H_fit − H_data| over all entries/samples
+	DTilde      []float64      // relaxation d̃ per sweep (diagnostic)
+	// DConstrained reports that the ConstrainD cap clipped the fitted D.
+	DConstrained bool
+}
+
+// ErrBadInput reports inconsistent sample dimensions.
+var ErrBadInput = errors.New("vecfit: inconsistent input dimensions")
+
+// Fit runs Vector Fitting on matrix samples H[k] (all P×P) at angular
+// frequencies omega[k] (rad/s), returning a stable common-pole model with
+// real residue structure. The fit minimizes Σ_k w_k²‖H(jω_k) − Ĥ_k‖_F²,
+// i.e. the weighted metric (6) of the paper.
+func Fit(omega []float64, samples []*mat.CMatrix, opts Options) (*rational.Model, *Report, error) {
+	k := len(omega)
+	if k == 0 || len(samples) != k {
+		return nil, nil, ErrBadInput
+	}
+	p := samples[0].Rows
+	for _, s := range samples {
+		if s.Rows != p || s.Cols != p {
+			return nil, nil, ErrBadInput
+		}
+	}
+	points := make([]complex128, k)
+	for i, w := range omega {
+		points[i] = complex(0, w)
+	}
+	// Flatten responses row-major: r = i*P + j.
+	responses := make([][]complex128, p*p)
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			row := make([]complex128, k)
+			for ki := 0; ki < k; ki++ {
+				row[ki] = samples[ki].At(i, j)
+			}
+			responses[i*p+j] = row
+		}
+	}
+	if opts.InitPoles == nil {
+		lo, hi := omegaRange(omega)
+		opts.InitPoles = InitialPolesLog(lo, hi, opts.NumPoles)
+	}
+	poles, cMat, dVec, rep, err := fitCore(points, responses, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if opts.ConstrainD > 0 {
+		weights := opts.Weights
+		if weights == nil {
+			weights = make([]float64, k)
+			for i := range weights {
+				weights[i] = 1
+			}
+		}
+		changed, err := constrainD(points, responses, weights, poles, cMat, dVec, p, opts.ConstrainD, opts.Sequential)
+		if err != nil {
+			return nil, nil, err
+		}
+		rep.DConstrained = changed
+	}
+	model, err := assembleModel(p, poles, cMat, dVec)
+	if err != nil {
+		return nil, nil, err
+	}
+	fillErrorStats(rep, model, omega, samples, opts.Weights)
+	return model, rep, nil
+}
+
+func omegaRange(omega []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), 0
+	for _, w := range omega {
+		if w > 0 && w < lo {
+			lo = w
+		}
+		if w > hi {
+			hi = w
+		}
+	}
+	if math.IsInf(lo, 1) {
+		lo = 1
+	}
+	if hi <= 0 {
+		hi = lo * 10
+	}
+	return lo, hi
+}
+
+// fitCore is the sample-point-domain engine shared by Fit (points = jω) and
+// magnitude VF (points = u real). It returns the final poles, the per-
+// response residue coordinate vectors (len n each) and constant terms.
+func fitCore(points []complex128, responses [][]complex128, opts Options) ([]complex128, [][]float64, []float64, *Report, error) {
+	k := len(points)
+	nr := len(responses)
+	if opts.NumPoles <= 0 {
+		return nil, nil, nil, nil, fmt.Errorf("vecfit: NumPoles must be positive, got %d", opts.NumPoles)
+	}
+	if opts.NumPoles >= k {
+		return nil, nil, nil, nil, fmt.Errorf("vecfit: NumPoles=%d requires more than %d samples", opts.NumPoles, k)
+	}
+	iters := opts.Iterations
+	if iters <= 0 {
+		iters = 10
+	}
+	poleTol := opts.PoleTol
+	if poleTol <= 0 {
+		poleTol = 1e-8
+	}
+	weights := opts.Weights
+	if weights == nil {
+		weights = make([]float64, k)
+		for i := range weights {
+			weights[i] = 1
+		}
+	} else if len(weights) != k {
+		return nil, nil, nil, nil, ErrBadInput
+	}
+	poles, _, err := rational.SortPairs(opts.InitPoles, 1e-12)
+	if err != nil {
+		return nil, nil, nil, nil, fmt.Errorf("vecfit: bad initial poles: %w", err)
+	}
+	poles = flipPoles(poles, opts.FlipMode)
+	n := len(poles)
+
+	rep := &Report{}
+	for it := 0; it < iters; it++ {
+		cTilde, dTilde, err := sigmaStep(points, responses, weights, poles, opts)
+		if err != nil {
+			return nil, nil, nil, nil, fmt.Errorf("vecfit: sweep %d: %w", it, err)
+		}
+		newPoles, err := relocatePoles(poles, cTilde, dTilde)
+		if err != nil {
+			return nil, nil, nil, nil, fmt.Errorf("vecfit: pole relocation sweep %d: %w", it, err)
+		}
+		newPoles = flipPoles(newPoles, opts.FlipMode)
+		move := poleMovement(poles, newPoles)
+		poles = newPoles
+		rep.Iterations = it + 1
+		rep.DTilde = append(rep.DTilde, dTilde)
+		rep.PoleHistory = append(rep.PoleHistory, append([]complex128(nil), poles...))
+		if move < poleTol {
+			break
+		}
+	}
+	rep.FinalPoles = append([]complex128(nil), poles...)
+
+	// Residue identification with the converged poles.
+	cMat := make([][]float64, nr)
+	dVec := make([]float64, nr)
+	phi := basisMatrix(points, poles)
+	runParallel(nr, opts.Sequential, func(r int) error {
+		c, d, err := residueLS(phi, points, responses[r], weights, opts.SkipD)
+		if err != nil {
+			return err
+		}
+		cMat[r] = c
+		dVec[r] = d
+		return nil
+	})
+	for r := 0; r < nr; r++ {
+		if cMat[r] == nil {
+			return nil, nil, nil, nil, fmt.Errorf("vecfit: residue identification failed for response %d", r)
+		}
+	}
+	_ = n
+	return poles, cMat, dVec, rep, nil
+}
+
+// sigmaStep solves the pole-identification least squares for the sigma
+// function coefficients (c̃, d̃) using per-response QR compression.
+func sigmaStep(points []complex128, responses [][]complex128, weights []float64, poles []complex128, opts Options) ([]float64, float64, error) {
+	n := len(poles)
+	phi := basisMatrix(points, poles)
+	relaxed := !opts.Unrelaxed
+	cT, dT, err := sigmaSolve(phi, points, responses, weights, opts, relaxed)
+	if err != nil {
+		return nil, 0, err
+	}
+	if relaxed {
+		// Guard against a vanishing relaxation coefficient (degenerate σ):
+		// redo the sweep with the classical σ = 1 + Σ c̃φ formulation.
+		scale := 0.0
+		for _, c := range cT {
+			scale += math.Abs(c)
+		}
+		if math.Abs(dT) < 1e-10*(1+scale) {
+			cT, dT, err = sigmaSolve(phi, points, responses, weights, opts, false)
+			if err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+	_ = n
+	return cT, dT, nil
+}
+
+func sigmaSolve(phi *mat.CMatrix, points []complex128, responses [][]complex128, weights []float64, opts Options, relaxed bool) ([]float64, float64, error) {
+	k := len(points)
+	n := phi.Cols
+	nr := len(responses)
+	ncr := n // per-response residue unknowns
+	if !opts.SkipD {
+		ncr++
+	}
+	nct := n // shared sigma unknowns
+	if relaxed {
+		nct++ // d̃
+	}
+	width := ncr + nct + 1 // + rhs column
+
+	// Per-response compressed blocks: rows of the stacked LS for (c̃[, d̃]).
+	type block struct {
+		g   *mat.Matrix // nct×nct
+		rhs []float64   // nct
+	}
+	blocks := make([]block, nr)
+	err := runParallel(nr, opts.Sequential, func(r int) error {
+		h := responses[r]
+		m := mat.NewMatrix(2*k, width)
+		for ki := 0; ki < k; ki++ {
+			w := weights[ki]
+			reRow := m.Row(2 * ki)
+			imRow := m.Row(2*ki + 1)
+			col := 0
+			for j := 0; j < n; j++ {
+				v := phi.At(ki, j)
+				reRow[col] = w * real(v)
+				imRow[col] = w * imag(v)
+				col++
+			}
+			if !opts.SkipD {
+				reRow[col] = w
+				imRow[col] = 0
+				col++
+			}
+			// Sigma block: −H·φ (and −H for d̃).
+			for j := 0; j < n; j++ {
+				v := -h[ki] * phi.At(ki, j)
+				reRow[col] = w * real(v)
+				imRow[col] = w * imag(v)
+				col++
+			}
+			if relaxed {
+				reRow[col] = -w * real(h[ki])
+				imRow[col] = -w * imag(h[ki])
+				col++
+			}
+			// RHS: zero when relaxed (homogeneous); +H when σ = 1 + Σc̃φ.
+			if !relaxed {
+				reRow[col] = w * real(h[ki])
+				imRow[col] = w * imag(h[ki])
+			}
+		}
+		s := mat.QRCompressR(m, ncr) // (nct+1)×(nct+1)
+		g := mat.NewMatrix(nct, nct)
+		rhs := make([]float64, nct)
+		for i := 0; i < nct; i++ {
+			for j := 0; j < nct; j++ {
+				g.Set(i, j, s.At(i, j))
+			}
+			rhs[i] = s.At(i, nct)
+		}
+		blocks[r] = block{g: g, rhs: rhs}
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+
+	rows := nr * nct
+	if relaxed {
+		rows++
+	}
+	big := mat.NewMatrix(rows, nct)
+	rhs := make([]float64, rows)
+	for r := 0; r < nr; r++ {
+		for i := 0; i < nct; i++ {
+			copy(big.Row(r*nct+i), blocks[r].g.Row(i))
+			rhs[r*nct+i] = blocks[r].rhs[i]
+		}
+	}
+	if relaxed {
+		// Nontriviality row: Σ_k Re{σ(s_k)} = K, scaled to the data norm
+		// so it neither dominates nor vanishes.
+		scale := 0.0
+		for r := 0; r < nr; r++ {
+			for ki := 0; ki < k; ki++ {
+				v := weights[ki] * cmplx.Abs(responses[r][ki])
+				scale += v * v
+			}
+		}
+		scale = math.Sqrt(scale) / float64(k)
+		row := big.Row(rows - 1)
+		for j := 0; j < n; j++ {
+			sum := 0.0
+			for ki := 0; ki < k; ki++ {
+				sum += real(phi.At(ki, j))
+			}
+			row[j] = scale * sum
+		}
+		row[n] = scale * float64(k)
+		rhs[rows-1] = scale * float64(k)
+	}
+	sol, err := mat.LeastSquares(big, rhs)
+	if err != nil {
+		return nil, 0, fmt.Errorf("vecfit: sigma LS failed: %w", err)
+	}
+	cT := sol[:n]
+	dT := 1.0
+	if relaxed {
+		dT = sol[n]
+	}
+	return cT, dT, nil
+}
+
+// residueLS solves the per-response residue identification with fixed poles.
+func residueLS(phi *mat.CMatrix, points []complex128, h []complex128, weights []float64, skipD bool) ([]float64, float64, error) {
+	k := len(points)
+	n := phi.Cols
+	nc := n
+	if !skipD {
+		nc++
+	}
+	m := mat.NewMatrix(2*k, nc)
+	rhs := make([]float64, 2*k)
+	for ki := 0; ki < k; ki++ {
+		w := weights[ki]
+		reRow := m.Row(2 * ki)
+		imRow := m.Row(2*ki + 1)
+		for j := 0; j < n; j++ {
+			v := phi.At(ki, j)
+			reRow[j] = w * real(v)
+			imRow[j] = w * imag(v)
+		}
+		if !skipD {
+			reRow[n] = w
+			imRow[n] = 0
+		}
+		rhs[2*ki] = w * real(h[ki])
+		rhs[2*ki+1] = w * imag(h[ki])
+	}
+	sol, err := mat.LeastSquares(m, rhs)
+	if err != nil {
+		return nil, 0, err
+	}
+	c := sol[:n]
+	d := 0.0
+	if !skipD {
+		d = sol[n]
+	}
+	return c, d, nil
+}
+
+// assembleModel packs per-response residue coordinates into a matrix model.
+func assembleModel(p int, poles []complex128, cMat [][]float64, dVec []float64) (*rational.Model, error) {
+	n := len(poles)
+	residues := make([]*mat.CMatrix, n)
+	for m := 0; m < n; m++ {
+		residues[m] = mat.NewCMatrix(p, p)
+	}
+	d := mat.NewMatrix(p, p)
+	model, err := rational.New(poles, residues, d)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			r := i*p + j
+			model.SetCVector(i, j, cMat[r])
+			d.Set(i, j, dVec[r])
+		}
+	}
+	return model, nil
+}
+
+func fillErrorStats(rep *Report, model *rational.Model, omega []float64, samples []*mat.CMatrix, weights []float64) {
+	p := model.Ports()
+	var sum, wsum float64
+	maxErr := 0.0
+	for ki, w := range omega {
+		wk := 1.0
+		if weights != nil {
+			wk = weights[ki]
+		}
+		h := model.Eval(w)
+		for i := 0; i < p; i++ {
+			for j := 0; j < p; j++ {
+				e := cmplx.Abs(h.At(i, j) - samples[ki].At(i, j))
+				if e > maxErr {
+					maxErr = e
+				}
+				sum += wk * wk * e * e
+				wsum += wk * wk
+			}
+		}
+	}
+	if wsum > 0 {
+		rep.RMSErr = math.Sqrt(sum / wsum)
+	}
+	rep.MaxAbsErr = maxErr
+}
+
+func poleMovement(old, cur []complex128) float64 {
+	if len(old) != len(cur) {
+		return math.Inf(1)
+	}
+	mx := 0.0
+	for i := range old {
+		d := cmplx.Abs(cur[i]-old[i]) / (1 + cmplx.Abs(old[i]))
+		if d > mx {
+			mx = d
+		}
+	}
+	return mx
+}
+
+// runParallel executes fn(i) for i in [0,n), using a worker pool unless
+// sequential execution is requested. The first error wins.
+func runParallel(n int, sequential bool, fn func(int) error) error {
+	if sequential || n < 2 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	workers := runtime.NumCPU()
+	if workers > n {
+		workers = n
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		errs error
+		next int
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if errs == nil {
+						errs = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return errs
+}
+
+// constrainD enforces σmax(D) ≤ cap on the assembled per-response constant
+// terms by singular-value clipping followed by residue re-identification
+// with the clipped D fixed. Returns true if anything changed.
+func constrainD(points []complex128, responses [][]complex128, weights []float64,
+	poles []complex128, cMat [][]float64, dVec []float64, p int, cap float64, sequential bool) (bool, error) {
+	d := mat.NewMatrix(p, p)
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			d.Set(i, j, dVec[i*p+j])
+		}
+	}
+	svd := mat.SVDecompose(d)
+	if len(svd.S) == 0 || svd.S[0] <= cap {
+		return false, nil
+	}
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			s := 0.0
+			for k := 0; k < len(svd.S); k++ {
+				sv := svd.S[k]
+				if sv > cap {
+					sv = cap
+				}
+				s += svd.U.At(i, k) * sv * svd.V.At(j, k)
+			}
+			dVec[i*p+j] = s
+		}
+	}
+	phi := basisMatrix(points, poles)
+	k := len(points)
+	err := runParallel(len(responses), sequential, func(r int) error {
+		adj := make([]complex128, k)
+		for ki := 0; ki < k; ki++ {
+			adj[ki] = responses[r][ki] - complex(dVec[r], 0)
+		}
+		c, _, err := residueLS(phi, points, adj, weights, true)
+		if err != nil {
+			return err
+		}
+		cMat[r] = c
+		return nil
+	})
+	return true, err
+}

@@ -1,0 +1,332 @@
+package vecfit
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/rational"
+)
+
+// logspace returns n log-spaced angular frequencies over [lo, hi].
+func logspace(lo, hi float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		t := float64(i) / float64(n-1)
+		out[i] = lo * math.Pow(hi/lo, t)
+	}
+	return out
+}
+
+// sampleModel evaluates a model over a frequency grid.
+func sampleModel(m *rational.Model, omega []float64) []*mat.CMatrix {
+	out := make([]*mat.CMatrix, len(omega))
+	for i, w := range omega {
+		out[i] = m.Eval(w)
+	}
+	return out
+}
+
+// referenceModel2 builds a well-separated 2-port test model with 4 poles.
+func referenceModel2(t *testing.T) *rational.Model {
+	t.Helper()
+	poles := []complex128{
+		complex(-0.8, 0),
+		complex(-0.05, 1), complex(-0.05, -1),
+		complex(-2, 20),
+	}
+	// Fix pairing: the last pole needs its conjugate.
+	poles = append(poles, cmplx.Conj(poles[3]))
+	r0 := mat.NewCMatrixFrom([][]complex128{{0.5, 0.1}, {0.1, 0.3}})
+	r1 := mat.NewCMatrixFrom([][]complex128{{0.2 + 0.1i, -0.05 + 0.02i}, {-0.05 + 0.02i, 0.15 - 0.08i}})
+	r1c := r1.Clone()
+	for i := range r1c.Data {
+		r1c.Data[i] = cmplx.Conj(r1c.Data[i])
+	}
+	r2 := mat.NewCMatrixFrom([][]complex128{{1 + 2i, 0.3 - 0.4i}, {0.3 - 0.4i, 2 + 1i}})
+	r2c := r2.Clone()
+	for i := range r2c.Data {
+		r2c.Data[i] = cmplx.Conj(r2c.Data[i])
+	}
+	d := mat.NewMatrixFrom([][]float64{{0.02, 0.005}, {0.005, 0.04}})
+	m, err := rational.New(poles, []*mat.CMatrix{r0, r1, r1c, r2, r2c}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestFitRecoversKnownModel(t *testing.T) {
+	ref := referenceModel2(t)
+	omega := logspace(0.01, 100, 200)
+	samples := sampleModel(ref, omega)
+	model, rep, err := Fit(omega, samples, Options{NumPoles: 5, Iterations: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RMSErr > 1e-8 {
+		t.Fatalf("RMS error %v too large for exact-order fit", rep.RMSErr)
+	}
+	// Poles must match the reference set.
+	for _, p := range ref.Poles {
+		found := false
+		for _, q := range model.Poles {
+			if cmplx.Abs(p-q) < 1e-5*(1+cmplx.Abs(p)) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("pole %v not recovered; got %v", p, model.Poles)
+		}
+	}
+	// And the model must be stable.
+	if !model.IsStable(0) {
+		t.Fatalf("fit produced unstable model")
+	}
+}
+
+func TestFitScalarResponse(t *testing.T) {
+	ref, err := rational.NewScalar(
+		[]complex128{complex(-1, 3), complex(-1, -3)},
+		[]complex128{complex(0.5, 1), complex(0.5, -1)},
+		0.1,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	omega := logspace(0.1, 30, 80)
+	samples := sampleModel(ref, omega)
+	model, rep, err := Fit(omega, samples, Options{NumPoles: 2, Iterations: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RMSErr > 1e-9 {
+		t.Fatalf("scalar RMS %v", rep.RMSErr)
+	}
+	if model.Ports() != 1 {
+		t.Fatalf("ports %d", model.Ports())
+	}
+}
+
+func TestFitOddOrderIncludesRealPole(t *testing.T) {
+	ref := referenceModel2(t)
+	omega := logspace(0.01, 100, 150)
+	samples := sampleModel(ref, omega)
+	model, _, err := Fit(omega, samples, Options{NumPoles: 5, Iterations: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasReal := false
+	for _, p := range model.Poles {
+		if imag(p) == 0 {
+			hasReal = true
+		}
+	}
+	if !hasReal {
+		t.Fatalf("odd-order fit should retain a real pole, got %v", model.Poles)
+	}
+}
+
+func TestFitWithNoiseStaysStable(t *testing.T) {
+	ref := referenceModel2(t)
+	omega := logspace(0.01, 100, 120)
+	samples := sampleModel(ref, omega)
+	rng := rand.New(rand.NewSource(80))
+	for _, s := range samples {
+		for i := range s.Data {
+			s.Data[i] += complex(1e-3*rng.NormFloat64(), 1e-3*rng.NormFloat64())
+		}
+	}
+	model, rep, err := Fit(omega, samples, Options{NumPoles: 7, Iterations: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !model.IsStable(0) {
+		t.Fatalf("noisy fit lost stability: %v", model.Poles)
+	}
+	if rep.RMSErr > 1e-2 {
+		t.Fatalf("noisy RMS too large: %v", rep.RMSErr)
+	}
+}
+
+func TestWeightedFitRedistributesError(t *testing.T) {
+	// Under-resolved fit (order below truth) with heavy low-frequency
+	// weights must beat the unweighted fit at low frequency.
+	ref := referenceModel2(t)
+	omega := logspace(0.01, 100, 160)
+	samples := sampleModel(ref, omega)
+	flat, _, err := Fit(omega, samples, Options{NumPoles: 3, Iterations: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := make([]float64, len(omega))
+	for i, om := range omega {
+		if om < 0.5 {
+			w[i] = 100
+		} else {
+			w[i] = 1
+		}
+	}
+	weighted, _, err := Fit(omega, samples, Options{NumPoles: 3, Iterations: 12, Weights: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lowErr := func(m *rational.Model) float64 {
+		sum := 0.0
+		cnt := 0
+		for i, om := range omega {
+			if om >= 0.5 {
+				continue
+			}
+			h := m.Eval(om)
+			for j := range h.Data {
+				e := cmplx.Abs(h.Data[j] - samples[i].Data[j])
+				sum += e * e
+				cnt++
+			}
+		}
+		return math.Sqrt(sum / float64(cnt))
+	}
+	le := lowErr(weighted)
+	lf := lowErr(flat)
+	if le > lf {
+		t.Fatalf("weighted low-freq error %v should not exceed unweighted %v", le, lf)
+	}
+}
+
+func TestUnrelaxedMode(t *testing.T) {
+	ref := referenceModel2(t)
+	omega := logspace(0.01, 100, 150)
+	samples := sampleModel(ref, omega)
+	model, rep, err := Fit(omega, samples, Options{NumPoles: 5, Iterations: 20, Unrelaxed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RMSErr > 1e-6 {
+		t.Fatalf("unrelaxed RMS %v", rep.RMSErr)
+	}
+	if !model.IsStable(0) {
+		t.Fatalf("unrelaxed unstable")
+	}
+}
+
+func TestFitSequentialMatchesParallel(t *testing.T) {
+	ref := referenceModel2(t)
+	omega := logspace(0.01, 100, 100)
+	samples := sampleModel(ref, omega)
+	mp, _, err := Fit(omega, samples, Options{NumPoles: 5, Iterations: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, _, err := Fit(omega, samples, Options{NumPoles: 5, Iterations: 8, Sequential: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range mp.Poles {
+		if cmplx.Abs(p-ms.Poles[i]) > 1e-9*(1+cmplx.Abs(p)) {
+			t.Fatalf("parallel/sequential poles differ: %v vs %v", mp.Poles, ms.Poles)
+		}
+	}
+}
+
+func TestFitErrorsOnBadInput(t *testing.T) {
+	if _, _, err := Fit(nil, nil, Options{NumPoles: 2}); err == nil {
+		t.Fatalf("empty input accepted")
+	}
+	omega := []float64{1, 2, 3}
+	samples := []*mat.CMatrix{mat.NewCMatrix(2, 2), mat.NewCMatrix(2, 2), mat.NewCMatrix(1, 1)}
+	if _, _, err := Fit(omega, samples, Options{NumPoles: 1}); err == nil {
+		t.Fatalf("ragged samples accepted")
+	}
+	ok := []*mat.CMatrix{mat.NewCMatrix(1, 1), mat.NewCMatrix(1, 1), mat.NewCMatrix(1, 1)}
+	if _, _, err := Fit(omega, ok, Options{NumPoles: 5}); err == nil {
+		t.Fatalf("order ≥ samples accepted")
+	}
+}
+
+func TestInitialPolesLog(t *testing.T) {
+	p := InitialPolesLog(1, 1000, 6)
+	if len(p) != 6 {
+		t.Fatalf("want 6 poles, got %d", len(p))
+	}
+	for i := 0; i < 6; i += 2 {
+		if imag(p[i]) <= 0 || p[i+1] != cmplx.Conj(p[i]) {
+			t.Fatalf("pole pairing broken: %v", p)
+		}
+		if real(p[i]) >= 0 {
+			t.Fatalf("initial poles must be stable: %v", p[i])
+		}
+	}
+	podd := InitialPolesLog(1, 1000, 5)
+	if len(podd) != 5 || imag(podd[0]) != 0 {
+		t.Fatalf("odd order should start with a real pole: %v", podd)
+	}
+}
+
+func TestFlipPoles(t *testing.T) {
+	in := []complex128{complex(2, 5), complex(2, -5), complex(-1, 0)}
+	out := flipPoles(in, FlipLHP)
+	if real(out[0]) != -2 || out[1] != cmplx.Conj(out[0]) {
+		t.Fatalf("FlipLHP wrong: %v", out)
+	}
+	in2 := []complex128{complex(-3, 0), complex(4, 0)}
+	out2 := flipPoles(in2, FlipOffNegReal)
+	if real(out2[0]) != 3 || real(out2[1]) != 4 {
+		t.Fatalf("FlipOffNegReal wrong: %v", out2)
+	}
+}
+
+func BenchmarkFitMIMO4Port(b *testing.B) {
+	poles := []complex128{
+		complex(-0.8, 0),
+		complex(-0.05, 1), complex(-0.05, -1),
+		complex(-2, 20), complex(-2, -20),
+	}
+	rng := rand.New(rand.NewSource(81))
+	p := 4
+	res := make([]*mat.CMatrix, len(poles))
+	res[0] = randSymC(rng, p, 0)
+	r1 := randSymC(rng, p, 1)
+	res[1], res[2] = r1, conjC(r1)
+	r2 := randSymC(rng, p, 1)
+	res[3], res[4] = r2, conjC(r2)
+	d := mat.NewMatrix(p, p)
+	for i := 0; i < p; i++ {
+		d.Set(i, i, 0.05)
+	}
+	ref, err := rational.New(poles, res, d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	omega := logspace(0.01, 100, 120)
+	samples := sampleModel(ref, omega)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Fit(omega, samples, Options{NumPoles: 5, Iterations: 6}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func randSymC(rng *rand.Rand, p int, im float64) *mat.CMatrix {
+	m := mat.NewCMatrix(p, p)
+	for i := 0; i < p; i++ {
+		for j := i; j < p; j++ {
+			v := complex(rng.NormFloat64(), im*rng.NormFloat64())
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	return m
+}
+
+func conjC(m *mat.CMatrix) *mat.CMatrix {
+	out := m.Clone()
+	for i := range out.Data {
+		out.Data[i] = cmplx.Conj(out.Data[i])
+	}
+	return out
+}

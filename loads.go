@@ -1,0 +1,82 @@
+package repro
+
+import (
+	"math"
+
+	"repro/internal/pdn"
+)
+
+// Termination models one port load by its admittance; see the constructors
+// below. (The concrete types live in the pdn engine; they are fully usable
+// through this API.)
+type Termination = pdn.Termination
+
+// Load is the nominal termination network: one Termination per port, the
+// Norton current excitation J, and the observation port for Z_PDN.
+type Load = pdn.Load
+
+// OpenPort returns an unterminated port load.
+func OpenPort() Termination { return pdn.Open{} }
+
+// ShortPort returns an (effectively) ideal short — the paper's VRM
+// termination.
+func ShortPort() Termination { return pdn.Short{} }
+
+// ResistorLoad returns a resistive termination.
+func ResistorLoad(r float64) Termination { return pdn.Resistor{R: r} }
+
+// DecapLoad returns the vendor-style decoupling capacitor model:
+// C in series with its parasitic ESR and ESL.
+func DecapLoad(c, esr, esl float64) Termination { return pdn.Decap(c, esr, esl) }
+
+// DieLoad returns the series-RC equivalent circuit of an active die block.
+func DieLoad(r, c float64) Termination { return pdn.DieRC(r, c) }
+
+// VRMLoad returns a series R-L voltage regulator output model.
+func VRMLoad(r, l float64) Termination { return pdn.VRM(r, l) }
+
+// TargetImpedance computes the loaded PDN impedance Z_PDN(f) of eq. (2)
+// from tabulated scattering data under the given termination network.
+func TargetImpedance(data *SData, load *Load) ([]complex128, error) {
+	if err := data.Validate(); err != nil {
+		return nil, err
+	}
+	return pdn.TargetImpedance(data.Omega(), data.S, data.R0, load)
+}
+
+// TargetImpedanceModel evaluates Z_PDN(f) of a macromodel over a frequency
+// grid (Hz) under the given termination network.
+func TargetImpedanceModel(m *Macromodel, freqHz []float64, load *Load) ([]complex128, error) {
+	out := make([]complex128, len(freqHz))
+	for k, f := range freqHz {
+		omega := 2 * math.Pi * f
+		z, err := pdn.TargetImpedanceAt(m.model.Eval(omega), m.r0, omega, load)
+		if err != nil {
+			return nil, err
+		}
+		out[k] = z
+	}
+	return out, nil
+}
+
+// Sensitivity computes the first-order sensitivity Ξ(f) of Z_PDN to
+// perturbations of the scattering entries (paper eq. 5, closed form), the
+// quantity used as fitting and enforcement weight.
+func Sensitivity(data *SData, load *Load) ([]float64, error) {
+	if err := data.Validate(); err != nil {
+		return nil, err
+	}
+	return pdn.Sensitivity(data.Omega(), data.S, data.R0, load)
+}
+
+// SensitivityMC estimates Ξ(f) by Monte-Carlo perturbation analysis — the
+// defining experiment of eq. (5); slower than Sensitivity but assumption-
+// free. Trials and sigma ≤ 0 select defaults.
+func SensitivityMC(data *SData, load *Load, trials int, sigma float64) ([]float64, error) {
+	if err := data.Validate(); err != nil {
+		return nil, err
+	}
+	return pdn.SensitivityMC(data.Omega(), data.S, data.R0, load, pdn.MCOptions{
+		Trials: trials, Sigma: sigma, Seed: 1,
+	})
+}

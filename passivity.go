@@ -1,0 +1,228 @@
+package repro
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/passivity"
+	"repro/internal/rational"
+	"repro/internal/vecfit"
+)
+
+// Weight is a stable, minimum-phase SISO rational model Ξ̃(s) used as a
+// frequency-dependent weight in fitting and passivity enforcement.
+type Weight struct {
+	model *rational.Model
+}
+
+// Eval returns |Ξ̃(j2πf)|.
+func (w *Weight) Eval(freqHz float64) float64 {
+	z := w.model.EvalEntry(0, 0, 2*math.Pi*freqHz)
+	return math.Hypot(real(z), imag(z))
+}
+
+// Order returns the weight model order n_w.
+func (w *Weight) Order() int { return w.model.NumPoles() }
+
+// Poles returns a copy of the weight poles.
+func (w *Weight) Poles() []complex128 {
+	return append([]complex128(nil), w.model.Poles...)
+}
+
+// FitWeight fits a minimum-phase rational weight to magnitude samples
+// xi[k] ≥ 0 at freqHz[k] via Magnitude Vector Fitting (paper eq. 17).
+// order is n_w (the paper uses 8); iterations ≤ 0 selects the default.
+func FitWeight(freqHz []float64, xi []float64, order, iterations int) (*Weight, error) {
+	omega := make([]float64, len(freqHz))
+	for i, f := range freqHz {
+		omega[i] = 2 * math.Pi * f
+	}
+	m, _, err := vecfit.FitMagnitude(omega, xi, vecfit.MagOptions{Order: order, Iterations: iterations})
+	if err != nil {
+		return nil, err
+	}
+	return &Weight{model: m}, nil
+}
+
+// BuildWeight computes the sensitivity Ξ of the loaded PDN directly from
+// the data and fits the weight model in one step (order ≤ 0 defaults to
+// the paper's n_w = 8). It returns the weight and the raw sensitivity
+// samples.
+func BuildWeight(data *SData, load *Load, order int) (*Weight, []float64, error) {
+	if err := data.Validate(); err != nil {
+		return nil, nil, err
+	}
+	m, xi, err := core.BuildWeight(data.Omega(), data.S, data.R0, load, core.WeightOptions{Order: order})
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Weight{model: m}, xi, nil
+}
+
+// PassivityViolation is one frequency band where a singular value of the
+// model scattering matrix exceeds one.
+type PassivityViolation struct {
+	FreqPeakHz float64
+	SigmaPeak  float64
+	FreqLoHz   float64
+	FreqHiHz   float64 // +Inf for an unbounded band
+}
+
+// PassivityReport is the outcome of CheckPassivity.
+type PassivityReport struct {
+	Passive    bool
+	MaxSigma   float64
+	MaxFreqHz  float64
+	DSigma     float64 // σ_max(D), asymptotic passivity
+	Violations []PassivityViolation
+	Method     string // "hamiltonian" or "sweep"
+}
+
+// CheckOptions tunes passivity detection.
+type CheckOptions struct {
+	// ForceSweep skips the Hamiltonian test regardless of model size.
+	ForceSweep bool
+	// FreqMin/FreqMax bound the sweep band in Hz (0 = derive from poles).
+	FreqMin, FreqMax float64
+	// SweepPoints sets the sweep grid density (0 = default 1000).
+	SweepPoints int
+	// Workers bounds the goroutines of the sweep evaluation
+	// (0 = GOMAXPROCS, 1 = serial); the result does not depend on it.
+	Workers int
+}
+
+func (o CheckOptions) internal() passivity.CheckOptions {
+	opts := passivity.CheckOptions{
+		OmegaMin:    2 * math.Pi * o.FreqMin,
+		OmegaMax:    2 * math.Pi * o.FreqMax,
+		SweepPoints: o.SweepPoints,
+		Workers:     o.Workers,
+	}
+	if o.ForceSweep {
+		opts.Method = passivity.MethodSweep
+	}
+	return opts
+}
+
+func toPublicReport(rep *passivity.Report) *PassivityReport {
+	out := &PassivityReport{
+		Passive:   rep.Passive,
+		MaxSigma:  rep.MaxSigma,
+		MaxFreqHz: rep.MaxOmega / (2 * math.Pi),
+		DSigma:    rep.DSigma,
+		Method:    rep.Method,
+	}
+	for _, v := range rep.Violations {
+		out.Violations = append(out.Violations, PassivityViolation{
+			FreqPeakHz: v.OmegaPeak / (2 * math.Pi),
+			SigmaPeak:  v.SigmaPeak,
+			FreqLoHz:   v.OmegaLo / (2 * math.Pi),
+			FreqHiHz:   v.OmegaHi / (2 * math.Pi),
+		})
+	}
+	return out
+}
+
+// CheckPassivity assesses the model: Hamiltonian imaginary-eigenvalue test
+// for small state dimensions, adaptive singular-value sweep otherwise.
+func CheckPassivity(m *Macromodel, opts CheckOptions) (*PassivityReport, error) {
+	rep, err := passivity.Check(m.model, opts.internal())
+	if err != nil {
+		return nil, err
+	}
+	return toPublicReport(rep), nil
+}
+
+// EnforceOptions tunes passivity enforcement.
+type EnforceOptions struct {
+	Check CheckOptions
+	// MaxIterations bounds the perturbation loop (default 40).
+	MaxIterations int
+	// Margin pushes constrained singular values to 1 − Margin
+	// (default 1e-4).
+	Margin float64
+	// Weight selects the paper's sensitivity-weighted cost ‖Ξ̃·δS‖₂
+	// built from the cascade Gramian (eqs. 18–21). Nil uses the standard
+	// L2 cost tr(δC·P·δCᵀ).
+	Weight *Weight
+	// ClampD permits a one-time singular-value clip of D when the fit is
+	// asymptotically non-passive (σmax(D) ≥ 1), which residue
+	// perturbation alone cannot repair.
+	ClampD bool
+}
+
+// EnforceReport summarizes an enforcement run.
+type EnforceReport struct {
+	Passive    bool
+	Iterations int
+	// DClamped reports that D was clipped to the passivity boundary first.
+	DClamped bool
+	// MaxSigmaHistory records the worst singular value seen before each
+	// sweep — the paper reports convergence in 9 iterations on its
+	// testcase.
+	MaxSigmaHistory []float64
+	Final           *PassivityReport
+}
+
+// ScalingEnforceReport summarizes a residue-scaling enforcement run.
+type ScalingEnforceReport struct {
+	Passive bool
+	// Gamma is the global residue scale factor applied (1 = untouched).
+	Gamma float64
+	// Checks counts passivity checks spent in the bisection.
+	Checks int
+	Final  *PassivityReport
+}
+
+// EnforcePassivityByScaling makes the model passive by scaling all residues
+// with one global factor (bisection) — the crudest guaranteed-passive
+// baseline, kept for the enforcement-accuracy ablation. opts.Weight is
+// ignored; use EnforcePassivity for the perturbation schemes.
+func EnforcePassivityByScaling(m *Macromodel, opts EnforceOptions) (*ScalingEnforceReport, error) {
+	rep, err := passivity.EnforceByResidueScaling(m.model, passivity.EnforceOptions{
+		Check:  opts.Check.internal(),
+		Margin: opts.Margin,
+		ClampD: opts.ClampD,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ScalingEnforceReport{
+		Passive: rep.Passive,
+		Gamma:   rep.Gamma,
+		Checks:  rep.Checks,
+		Final:   toPublicReport(rep.Final),
+	}, nil
+}
+
+// EnforcePassivity removes passivity violations in place by iterative
+// residue perturbation (paper eqs. 8–10). With opts.Weight set it runs the
+// paper's sensitivity-weighted scheme; otherwise the standard L2 scheme.
+func EnforcePassivity(m *Macromodel, opts EnforceOptions) (*EnforceReport, error) {
+	eopts := passivity.EnforceOptions{
+		Check:         opts.Check.internal(),
+		MaxIterations: opts.MaxIterations,
+		Margin:        opts.Margin,
+		ClampD:        opts.ClampD,
+	}
+	var rep *passivity.EnforceReport
+	var err error
+	if opts.Weight != nil {
+		rep, err = core.EnforceWeighted(m.model, opts.Weight.model, eopts)
+	} else {
+		rep, err = passivity.Enforce(m.model, eopts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := &EnforceReport{
+		Passive:    rep.Passive,
+		Iterations: rep.Iterations,
+		DClamped:   rep.DClamped,
+		Final:      toPublicReport(rep.Final),
+	}
+	for _, h := range rep.History {
+		out.MaxSigmaHistory = append(out.MaxSigmaHistory, h.MaxSigma)
+	}
+	return out, nil
+}

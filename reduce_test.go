@@ -1,0 +1,117 @@
+package repro_test
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	repro "repro"
+)
+
+func TestReduceModelKeepsScatteringAccuracy(t *testing.T) {
+	// Overfit the small PDN (16 poles), reduce to 24 states, and check the
+	// reduced model still matches the data nearly as well as the original.
+	freqs := repro.LogFreqGrid(1e3, 2e9, 60, true)
+	syn, err := repro.GeneratePDN(repro.PDNSmall, freqs, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, _, err := repro.Fit(syn.Data, repro.FitOptions{NumPoles: 16, Iterations: 8, ConstrainD: 0.999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, rep, err := repro.ReduceModel(big, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Order > 24 {
+		t.Fatalf("retained order %d exceeds request", rep.Order)
+	}
+	if len(rep.Hankel) != 16*syn.Data.Ports() {
+		t.Fatalf("expected %d Hankel values, got %d", 16*syn.Data.Ports(), len(rep.Hankel))
+	}
+	if !red.IsStable() {
+		t.Fatal("reduced model must stay stable")
+	}
+	bigErr := big.RMSError(syn.Data)
+	redErr := red.RMSError(syn.Data)
+	// Reduction adds at most the BT bound on top of the fit error; in
+	// practice it should stay the same order of magnitude.
+	if redErr > 10*bigErr+rep.Bound {
+		t.Fatalf("reduced model error %g too large (fit %g, bound %g)", redErr, bigErr, rep.Bound)
+	}
+}
+
+func TestReduceModelRespectsHankelDecay(t *testing.T) {
+	freqs := repro.LogFreqGrid(1e3, 2e9, 40, false)
+	syn, err := repro.GeneratePDN(repro.PDNSmall, freqs, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _, err := repro.Fit(syn.Data, repro.FitOptions{NumPoles: 10, Iterations: 6, ConstrainD: 0.999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := repro.ReduceModel(m, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rep.Hankel); i++ {
+		if rep.Hankel[i] > rep.Hankel[i-1]*(1+1e-12) {
+			t.Fatalf("Hankel values must descend, violated at %d", i)
+		}
+	}
+	if rep.Bound < 0 {
+		t.Fatal("negative error bound")
+	}
+}
+
+func TestReducedModelTransferCloseToOriginal(t *testing.T) {
+	freqs := repro.LogFreqGrid(1e3, 2e9, 40, false)
+	syn, err := repro.GeneratePDN(repro.PDNSmall, freqs, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _, err := repro.Fit(syn.Data, repro.FitOptions{NumPoles: 12, Iterations: 6, ConstrainD: 0.999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, rep, err := repro.ReduceModel(m, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := 0.0
+	for _, f := range freqs {
+		a := m.Eval(f)
+		b := red.Eval(f)
+		for i := range a {
+			for j := range a[i] {
+				if d := cmplx.Abs(a[i][j] - b[i][j]); d > worst {
+					worst = d
+				}
+			}
+		}
+	}
+	slack := math.Sqrt(float64(syn.Data.Ports())) * rep.Bound * 1.05
+	if worst > slack+1e-9 {
+		t.Fatalf("entrywise deviation %g exceeds BT bound slack %g", worst, slack)
+	}
+}
+
+func TestReduceModelErrors(t *testing.T) {
+	freqs := repro.LogFreqGrid(1e3, 2e9, 20, false)
+	syn, err := repro.GeneratePDN(repro.PDNSmall, freqs, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _, err := repro.Fit(syn.Data, repro.FitOptions{NumPoles: 4, Iterations: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := repro.ReduceModel(m, 0); err == nil {
+		t.Fatal("order 0 must fail")
+	}
+	if _, _, err := repro.ReduceModel(m, 10_000); err == nil {
+		t.Fatal("order beyond state dimension must fail")
+	}
+}

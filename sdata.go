@@ -1,0 +1,181 @@
+package repro
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/mat"
+	"repro/internal/touchstone"
+)
+
+// SData holds tabulated scattering samples of a P-port network.
+type SData struct {
+	// Freq lists sample frequencies in Hz, ascending.
+	Freq []float64
+	// S holds one P×P scattering matrix per frequency.
+	S []*mat.CMatrix
+	// R0 is the port normalization resistance in Ω (typically 50).
+	R0 float64
+}
+
+// ErrBadData reports inconsistent scattering data.
+var ErrBadData = errors.New("repro: inconsistent scattering data")
+
+// NewSData builds and validates a dataset from raw samples
+// (samples[k][i][j] = S_ij at Freq[k]).
+func NewSData(freqHz []float64, samples [][][]complex128, r0 float64) (*SData, error) {
+	if len(freqHz) == 0 || len(freqHz) != len(samples) {
+		return nil, ErrBadData
+	}
+	p := len(samples[0])
+	d := &SData{Freq: append([]float64(nil), freqHz...), R0: r0}
+	for k, s := range samples {
+		m := mat.NewCMatrix(p, p)
+		if len(s) != p {
+			return nil, fmt.Errorf("%w: sample %d has %d rows, want %d", ErrBadData, k, len(s), p)
+		}
+		for i, row := range s {
+			if len(row) != p {
+				return nil, fmt.Errorf("%w: sample %d row %d has %d cols", ErrBadData, k, i, len(row))
+			}
+			copy(m.Data[i*p:(i+1)*p], row)
+		}
+		d.S = append(d.S, m)
+	}
+	return d, d.Validate()
+}
+
+// Validate checks structural consistency.
+func (d *SData) Validate() error {
+	if len(d.Freq) == 0 || len(d.Freq) != len(d.S) {
+		return ErrBadData
+	}
+	if d.R0 <= 0 {
+		return fmt.Errorf("%w: R0 = %g", ErrBadData, d.R0)
+	}
+	p := d.S[0].Rows
+	for k, s := range d.S {
+		if s.Rows != p || s.Cols != p {
+			return fmt.Errorf("%w: sample %d is %d×%d, want %d×%d", ErrBadData, k, s.Rows, s.Cols, p, p)
+		}
+		if k > 0 && d.Freq[k] < d.Freq[k-1] {
+			return fmt.Errorf("%w: frequencies not ascending at %d", ErrBadData, k)
+		}
+	}
+	return nil
+}
+
+// Ports returns the port count.
+func (d *SData) Ports() int {
+	if len(d.S) == 0 {
+		return 0
+	}
+	return d.S[0].Rows
+}
+
+// Points returns the number of frequency samples.
+func (d *SData) Points() int { return len(d.Freq) }
+
+// Omega returns the angular frequencies (rad/s).
+func (d *SData) Omega() []float64 {
+	out := make([]float64, len(d.Freq))
+	for i, f := range d.Freq {
+		out[i] = 2 * math.Pi * f
+	}
+	return out
+}
+
+// At returns S_ij at sample k.
+func (d *SData) At(k, i, j int) complex128 { return d.S[k].At(i, j) }
+
+// MaxSingularValues returns σ_max(Ŝ_k) per sample — the passivity metric
+// of the raw data itself.
+func (d *SData) MaxSingularValues() []float64 {
+	out := make([]float64, len(d.S))
+	for k, s := range d.S {
+		out[k] = mat.MaxSingularValue(s)
+	}
+	return out
+}
+
+// LogFreqGrid builds a log-spaced frequency grid (Hz) with n points from
+// fmin to fmax inclusive; when includeDC is true a 0 Hz point is prepended,
+// matching the paper's sweep (1 kHz – 2 GHz logarithmic plus DC).
+func LogFreqGrid(fmin, fmax float64, n int, includeDC bool) []float64 {
+	if n < 2 || fmin <= 0 || fmax <= fmin {
+		panic("repro: bad LogFreqGrid arguments")
+	}
+	var out []float64
+	if includeDC {
+		out = append(out, 0)
+	}
+	for i := 0; i < n; i++ {
+		t := float64(i) / float64(n-1)
+		out = append(out, fmin*math.Pow(fmax/fmin, t))
+	}
+	return out
+}
+
+// ReadTouchstone loads scattering data from a Touchstone v1 file. The port
+// count is taken from the .sNp extension when parsable, otherwise it must
+// be positive in the ports argument.
+func ReadTouchstone(path string, ports int) (*SData, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if ports <= 0 {
+		ports = portsFromExtension(path)
+		if ports <= 0 {
+			return nil, fmt.Errorf("repro: cannot infer port count from %q, pass it explicitly", path)
+		}
+	}
+	td, err := touchstone.Read(f, ports)
+	if err != nil {
+		return nil, err
+	}
+	if td.Parameter != touchstone.ParamS {
+		return nil, fmt.Errorf("repro: %q holds %c-parameters; only S supported here", path, td.Parameter)
+	}
+	d := &SData{Freq: td.Freq, S: td.Matrices, R0: td.R0}
+	return d, d.Validate()
+}
+
+// WriteTouchstone writes the dataset to a Touchstone v1 file (Hz, RI).
+func WriteTouchstone(path string, d *SData) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return touchstone.Write(f, &touchstone.Data{
+		Freq: d.Freq, Matrices: d.S, Parameter: touchstone.ParamS, R0: d.R0,
+	})
+}
+
+func portsFromExtension(path string) int {
+	// Expect ...sNp / ...SNp.
+	n := len(path)
+	if n < 4 {
+		return 0
+	}
+	i := n - 1
+	if path[i] != 'p' && path[i] != 'P' {
+		return 0
+	}
+	j := i - 1
+	for j >= 0 && path[j] >= '0' && path[j] <= '9' {
+		j--
+	}
+	if j < 0 || (path[j] != 's' && path[j] != 'S') || j == i-1 {
+		return 0
+	}
+	ports := 0
+	for _, c := range path[j+1 : i] {
+		ports = ports*10 + int(c-'0')
+	}
+	return ports
+}

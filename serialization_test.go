@@ -1,0 +1,108 @@
+package repro_test
+
+import (
+	"encoding/json"
+	"math/cmplx"
+	"testing"
+
+	repro "repro"
+)
+
+func fitSmallModel(t *testing.T, poles int) (*repro.Macromodel, *repro.SyntheticPDN) {
+	t.Helper()
+	freqs := repro.LogFreqGrid(1e3, 2e9, 40, true)
+	syn, err := repro.GeneratePDN(repro.PDNSmall, freqs, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _, err := repro.Fit(syn.Data, repro.FitOptions{NumPoles: poles, Iterations: 5, ConstrainD: 0.999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, syn
+}
+
+// modelsAgree compares two models entrywise over a frequency set.
+func modelsAgree(t *testing.T, a, b *repro.Macromodel, freqs []float64, tol float64) {
+	t.Helper()
+	if a.Ports() != b.Ports() || a.NumPoles() != b.NumPoles() {
+		t.Fatalf("shape mismatch: %d/%d ports, %d/%d poles", a.Ports(), b.Ports(), a.NumPoles(), b.NumPoles())
+	}
+	for _, f := range freqs {
+		ha := a.Eval(f)
+		hb := b.Eval(f)
+		for i := range ha {
+			for j := range ha[i] {
+				if d := cmplx.Abs(ha[i][j] - hb[i][j]); d > tol {
+					t.Fatalf("f=%g (%d,%d): |Δ| = %g", f, i, j, d)
+				}
+			}
+		}
+	}
+}
+
+func TestReducedModelSerializes(t *testing.T) {
+	// Models produced by balanced truncation (rank-one complex residues,
+	// many poles) must survive the JSON round trip like fitted ones do.
+	m, syn := fitSmallModel(t, 12)
+	red, _, err := repro.ReduceModel(m, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(red)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back repro.Macromodel
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	modelsAgree(t, red, &back, syn.Data.Freq[:10], 1e-10)
+}
+
+func TestUnmarshalRejectsStructurallyBrokenModels(t *testing.T) {
+	var m repro.Macromodel
+	cases := map[string]string{
+		"count mismatch":     `{"r0":50,"poles":[[1,0]],"residues":[],"d":[[0]]}`,
+		"dangling conjugate": `{"r0":50,"poles":[[-1,2]],"residues":[[[[1,0]]]],"d":[[0]]}`,
+		"ragged residue row": `{"r0":50,"poles":[[-1,0]],"residues":[[[[1,0],[2,0]]]],"d":[[0]]}`,
+		"ragged D row":       `{"r0":50,"poles":[[-1,0]],"residues":[[[[1,0]]]],"d":[[0,1]]}`,
+		"non-conjugate pair": `{"r0":50,"poles":[[-1,2],[-1,3]],"residues":[[[[1,0]]],[[[1,0]]]],"d":[[0]]}`,
+	}
+	for name, c := range cases {
+		if err := json.Unmarshal([]byte(c), &m); err == nil {
+			t.Fatalf("%s: malformed model accepted", name)
+		}
+	}
+}
+
+func TestEnforcePassivityByScalingPublicAPI(t *testing.T) {
+	// The strawman baseline must terminate passive through the public
+	// wrapper too, reporting a meaningful γ.
+	m, syn := fitSmallModel(t, 12)
+	chk, err := repro.CheckPassivity(m, repro.CheckOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chk.Passive {
+		t.Skip("fit happened to be passive; nothing to scale")
+	}
+	rep, err := repro.EnforcePassivityByScaling(m, repro.EnforceOptions{ClampD: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passive || !rep.Final.Passive {
+		t.Fatal("scaling must end passive")
+	}
+	if rep.Gamma <= 0 || rep.Gamma >= 1 {
+		t.Fatalf("expected 0 < γ < 1 for a non-passive fit, got %v", rep.Gamma)
+	}
+	if rep.Checks < 2 {
+		t.Fatalf("bisection should need several checks, got %d", rep.Checks)
+	}
+	// The scaled model must still beat a zeroed model in fit quality: γ>0
+	// keeps some response.
+	if rms := m.RMSError(syn.Data); rms >= 1 {
+		t.Fatalf("scaled model lost all structure: RMS %v", rms)
+	}
+}

@@ -1,0 +1,61 @@
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/synthpdn"
+)
+
+// PDNPreset selects one of the bundled synthetic PDN structures that
+// substitute for the paper's proprietary testcase.
+type PDNPreset int
+
+// Presets.
+const (
+	// PDNPaper45 mirrors the paper's §IV testcase: 45 ports — 24 die,
+	// 12 decap, 1 VRM (shorted), 8 open.
+	PDNPaper45 PDNPreset = iota
+	// PDNSmall is an 8-port variant (4 die, 2 decap, 1 VRM, 1 open) for
+	// quick experiments and examples.
+	PDNSmall
+)
+
+// SyntheticPDN couples generated scattering data with the nominal
+// termination network of the structure.
+type SyntheticPDN struct {
+	Data *SData
+	Load *Load
+	// Roles describes each port: "die", "decap", "vrm" or "open".
+	Roles []string
+}
+
+// GeneratePDN synthesizes a board/package/die PDN structure (RLC plane
+// grids solved by MNA — the library's field-solver substitute), sweeps its
+// scattering parameters over the given frequency grid (Hz; use LogFreqGrid
+// to match the paper's 1 kHz–2 GHz log sweep plus DC), and returns the data
+// together with the paper's nominal termination network.
+func GeneratePDN(preset PDNPreset, freqHz []float64, r0 float64) (*SyntheticPDN, error) {
+	var cfg synthpdn.Config
+	switch preset {
+	case PDNPaper45:
+		cfg = synthpdn.Paper45()
+	case PDNSmall:
+		cfg = synthpdn.Small()
+	default:
+		return nil, fmt.Errorf("repro: unknown PDN preset %d", preset)
+	}
+	p, err := synthpdn.Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ss, err := p.Circuit.SweepS(freqHz, r0)
+	if err != nil {
+		return nil, err
+	}
+	data := &SData{Freq: append([]float64(nil), freqHz...), S: ss, R0: r0}
+	roles := make([]string, p.Ports())
+	for i, r := range p.Roles {
+		roles[i] = r.String()
+	}
+	return &SyntheticPDN{Data: data, Load: p.NominalLoad(), Roles: roles}, nil
+}
