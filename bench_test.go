@@ -9,6 +9,7 @@ package repro_test
 // full resolution.
 
 import (
+	"fmt"
 	"testing"
 
 	repro "repro"
@@ -326,6 +327,85 @@ func BenchmarkReduceModel(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, _, err := repro.ReduceModel(big, 96); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- passivity check scaling ----------------------------------------------
+
+// BenchmarkPassivityCheck charts the check hot path across model sizes
+// (nP = poles × ports, the half Hamiltonian dimension) and methods. The
+// synthetic models carry the narrow off-resonance violation band that the
+// fixed sweep cannot see, so the benchmark doubles as the method-selection
+// evidence: the exact Hamiltonian test explodes as O((2nP)³) while the
+// adaptive characterizer stays in the milliseconds at nP = 2000, finding
+// the band the 1000-point sweep misses. Hamiltonian runs are capped at
+// nP ≤ 1000; note the nP = 1000 eigensolve takes tens of seconds per
+// iteration, so a full -bench run of this function is slow by design —
+// narrow with -bench 'BenchmarkPassivityCheck/nP=1000' when regenerating
+// the speedup numbers.
+func BenchmarkPassivityCheck(b *testing.B) {
+	for _, size := range []struct{ ports, poles int }{
+		{2, 24},  // nP = 48
+		{2, 100}, // nP = 200
+		{4, 125}, // nP = 500
+		{4, 250}, // nP = 1000
+		{8, 250}, // nP = 2000
+	} {
+		nP := size.ports * size.poles
+		m, err := repro.SyntheticMacromodel(repro.SyntheticModelOptions{
+			Ports: size.ports, Poles: size.poles, Seed: 3, PeakGain: 0.1, NarrowBand: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		run := func(name string, method repro.CheckMethod, wantPassive bool) {
+			b.Run(fmt.Sprintf("nP=%d/%s", nP, name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					rep, err := repro.CheckPassivity(m, repro.CheckOptions{Method: method, SweepPoints: 1000})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if rep.Passive != wantPassive {
+						b.Fatalf("%s at nP=%d: passive=%v, want %v (σmax=%v)",
+							name, nP, rep.Passive, wantPassive, rep.MaxSigma)
+					}
+				}
+			})
+		}
+		// The narrow band is invisible to the fixed grid (passive verdict)
+		// and found by the adaptive characterizer and the exact test.
+		run("adaptive", repro.CheckAdaptive, false)
+		run("sweep1000", repro.CheckSweep, true)
+		if nP <= 1000 {
+			run("hamiltonian", repro.CheckHamiltonian, false)
+		}
+	}
+}
+
+// BenchmarkPassivityCheckEnforceCached measures a full adaptive-driven
+// enforcement on a violating synthetic model — the loop shares one
+// evaluation cache across its sweeps, which is where the adaptive method
+// earns its keep inside Enforce.
+func BenchmarkPassivityCheckEnforceCached(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m, err := repro.SyntheticMacromodel(repro.SyntheticModelOptions{
+			Ports: 2, Poles: 40, Seed: 9, PeakGain: 1.1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		rep, err := repro.EnforcePassivity(m, repro.EnforceOptions{
+			Check:  repro.CheckOptions{Method: repro.CheckAdaptive},
+			ClampD: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Passive {
+			b.Fatal("enforcement failed")
 		}
 	}
 }

@@ -4,8 +4,13 @@
 //
 // Usage:
 //
-//	passcheck [-ports N] [-fit n] [-enforce] [-save out.json] input.s4p
-//	passcheck -model model.json [-enforce] [-save out.json]
+//	passcheck [-ports N] [-fit n] [-enforce] [-save out.json] [-method m] input.s4p
+//	passcheck -model model.json [-enforce] [-save out.json] [-method m]
+//
+// -method selects the detection algorithm: auto (Hamiltonian for small
+// models, multi-stage adaptive sampling otherwise), hamiltonian, sweep, or
+// adaptive. -sweep tunes the fixed sweep's grid density; the adaptive
+// method ignores it and is tuned by -seedpoints instead.
 //
 // Exit status: 0 when the final artifact is passive, 1 when not, 2 on
 // usage or I/O errors.
@@ -31,7 +36,23 @@ func main() {
 	enforce := flag.Bool("enforce", false, "enforce passivity on the (fitted or loaded) model")
 	save := flag.String("save", "", "save the final model as JSON")
 	sweep := flag.Int("sweep", 1200, "sweep grid points for the model check")
+	seedPoints := flag.Int("seedpoints", 0, "adaptive method: coarse seed grid points (0 = library default)")
+	method := flag.String("method", "auto", "passivity check method: auto|hamiltonian|sweep|adaptive")
 	flag.Parse()
+
+	var checkMethod repro.CheckMethod
+	switch *method {
+	case "auto":
+		checkMethod = repro.CheckAuto
+	case "hamiltonian":
+		checkMethod = repro.CheckHamiltonian
+	case "sweep":
+		checkMethod = repro.CheckSweep
+	case "adaptive":
+		checkMethod = repro.CheckAdaptive
+	default:
+		fail(2, "unknown -method %q (want auto, hamiltonian, sweep or adaptive)", *method)
+	}
 
 	var model *repro.Macromodel
 	switch {
@@ -75,7 +96,7 @@ func main() {
 		fail(2, "need exactly one Touchstone file or -model (got %d args)", flag.NArg())
 	}
 
-	chkOpts := repro.CheckOptions{SweepPoints: *sweep}
+	chkOpts := repro.CheckOptions{Method: checkMethod, SweepPoints: *sweep, AdaptiveSeedPoints: *seedPoints}
 	rep, err := repro.CheckPassivity(model, chkOpts)
 	if err != nil {
 		fail(2, "check: %v", err)
@@ -103,8 +124,12 @@ func main() {
 }
 
 func printReport(rep *repro.PassivityReport) {
-	fmt.Printf("model passivity [%s]: passive=%v σmax=%.6f at %.4g Hz, σmax(D)=%.6f\n",
+	fmt.Printf("model passivity [%s]: passive=%v σmax=%.6f at %.4g Hz, σmax(D)=%.6f",
 		rep.Method, rep.Passive, rep.MaxSigma, rep.MaxFreqHz, rep.DSigma)
+	if rep.Samples > 0 {
+		fmt.Printf(" (%d samples)", rep.Samples)
+	}
+	fmt.Println()
 	for i, v := range rep.Violations {
 		fmt.Printf("  violation %d: σ=%.6f at %.4g Hz, band [%.4g, %.4g] Hz\n",
 			i+1, v.SigmaPeak, v.FreqPeakHz, v.FreqLoHz, v.FreqHiHz)

@@ -35,6 +35,28 @@
 //     S_ij(s)·Ξ̃(s) (EnforcePassivity, EnforceOptions.Weight).
 //  5. One call: Extract runs the whole pipeline.
 //
+// # Passivity characterization
+//
+// The violation detection feeding the enforcement loop is pluggable
+// (CheckOptions.Method). With N = 2·n·P the Hamiltonian dimension:
+//
+//	CheckHamiltonian  exact imaginary-eigenvalue test, O(N³). The oracle
+//	                  and certifier for small models (N ≲ 400).
+//	CheckSweep        fixed pole-seeded log grid. Flat cost, trivially
+//	                  parallel; adequate for broad violation bands but a
+//	                  narrow resonant band can fall between grid points.
+//	CheckAdaptive     multi-stage adaptive sampling: a coarse seed grid
+//	                  refined only where the local σ(ω) curvature or pole
+//	                  proximity leaves room for a violation, with
+//	                  certified-passive intervals pruned by a residue tail
+//	                  bound. Scales to models far beyond the eigensolve
+//	                  and still localizes narrow bands; inside
+//	                  EnforcePassivity it shares a per-frequency
+//	                  evaluation cache and warm-starts from the previous
+//	                  sweep's bands.
+//	CheckAuto         Hamiltonian below the dimension threshold, adaptive
+//	                  above (the default).
+//
 // # Beyond the paper's figures
 //
 // The library also covers the paper's surrounding claims and baselines:

@@ -115,8 +115,8 @@ func TestExtensionsRunAndHoldShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 4 {
-		t.Fatalf("expected 4 extension experiments, got %d", len(results))
+	if len(results) != 5 {
+		t.Fatalf("expected 5 extension experiments, got %d", len(results))
 	}
 	for _, r := range results {
 		if len(r.Series) == 0 || len(r.Metrics) == 0 {
@@ -162,6 +162,17 @@ func TestExtensionsRunAndHoldShape(t *testing.T) {
 	if extD.Metrics["z_err_lf_residue_scaling"] < extD.Metrics["z_err_lf_weighted_qp"] {
 		t.Fatalf("Ext-D shape violated: scaling (%v) should be worse than weighted QP (%v)",
 			extD.Metrics["z_err_lf_residue_scaling"], extD.Metrics["z_err_lf_weighted_qp"])
+	}
+
+	extE := results[4]
+	if extE.Metrics["verdict_agreement"] != 1 {
+		t.Fatalf("Ext-E: adaptive and sweep characterization disagree: %+v", extE.Metrics)
+	}
+	if extE.Metrics["enforced_passive"] != 1 {
+		t.Fatalf("Ext-E: adaptive-driven enforcement failed: %+v", extE.Metrics)
+	}
+	if extE.Metrics["adaptive_samples"] <= 0 || extE.Metrics["sweep_samples"] <= 0 {
+		t.Fatalf("Ext-E: missing sample accounting: %+v", extE.Metrics)
 	}
 }
 

@@ -1,0 +1,309 @@
+package passivity
+
+import (
+	"math"
+
+	"repro/internal/mat"
+	"repro/internal/rational"
+)
+
+// This file implements MethodAdaptive: a multi-stage adaptive sampling
+// passivity characterizer in the spirit of De Stefano et al., "A
+// Multi-Stage Adaptive Sampling Scheme for Passivity Characterization of
+// Large-Scale Macromodels". Starting from a coarse log-spaced seed grid
+// (augmented with every pole's resonance and warm-start frequencies from a
+// previous check), each stage estimates a per-interval error from the local
+// σ(ω) curvature and from pole proximity, and bisects only the suspicious
+// intervals. Narrow resonant violation bands that a fixed sweep grid steps
+// over are found by zooming to the half-width scale of the poles that could
+// push σ above one, while intervals certified passive by a residue tail
+// bound are pruned without any further samples. All evaluations of a stage
+// fan out through parallel.For; results are bitwise independent of the
+// worker count.
+
+// poleFeature summarizes one pole for the adaptive error estimates.
+type poleFeature struct {
+	wr    float64 // resonance frequency |Im p| (0 for real poles)
+	gamma float64 // half-width |Re p|
+	rnorm float64 // spectral norm ‖R‖₂ of the residue matrix
+	// peakGain bounds the σ contribution of this pole's term anywhere on
+	// the imaginary axis: ‖R‖₂/|Re p|, attained at its own resonance.
+	peakGain float64
+}
+
+func poleFeatures(model *rational.Model) []poleFeature {
+	feats := make([]poleFeature, 0, len(model.Poles))
+	for k, p := range model.Poles {
+		gamma := math.Abs(real(p))
+		if gamma == 0 {
+			// Marginally stable pole: keep the feature finite so the scale
+			// and bound arithmetic stays well defined.
+			gamma = 1e-12 * (1 + math.Abs(imag(p)))
+		}
+		rn := mat.MaxSingularValue(model.Residues[k])
+		feats = append(feats, poleFeature{
+			wr:       math.Abs(imag(p)),
+			gamma:    gamma,
+			rnorm:    rn,
+			peakGain: rn / gamma,
+		})
+	}
+	return feats
+}
+
+// adaptiveState carries the refinement grid and the per-model quantities
+// the split criteria need.
+type adaptiveState struct {
+	model  *rational.Model
+	feats  []poleFeature
+	dSigma float64
+	limit  float64
+	relTol float64
+	grid   []float64
+	sv     []float64
+}
+
+// tailBound is a rigorous interval bound: for every ω in [w0, w1]
+//
+//	σ(S(jω)) ≤ σ(D) + Σ_k ‖R_k‖₂/|jω − p_k| ≤ σ(D) + Σ_k ‖R_k‖₂/hypot(γ_k, d_k)
+//
+// with d_k the frequency distance from the interval to the pole's
+// resonance. Intervals whose bound stays at or below the limit cannot host
+// a violation and are pruned from refinement. The sum short-circuits once
+// it exceeds the limit — callers only use the comparison.
+func (a *adaptiveState) tailBound(w0, w1 float64) float64 {
+	sum := a.dSigma
+	for _, f := range a.feats {
+		d := 0.0
+		if f.wr < w0 {
+			d = w0 - f.wr
+		} else if f.wr > w1 {
+			d = f.wr - w1
+		}
+		sum += f.rnorm / math.Hypot(f.gamma, d)
+		if sum > a.limit {
+			break
+		}
+	}
+	return sum
+}
+
+// localScale returns the variation scale of σ over [w0, w1] — the smallest
+// γ_k + dist_k over the pole features, capped at w1 — together with the
+// largest resonance gain ‖R‖₂/γ among the features whose own scale is
+// still unresolved by an interval of the given width. The scale tells the
+// refinement how finely σ must be sampled here before its local behaviour
+// can be trusted; the hidden gain tells it whether an unresolved resonance
+// could push σ above the limit between the current samples.
+func (a *adaptiveState) localScale(w0, w1, width float64) (scale, hiddenGain float64) {
+	scale = w1
+	if scale <= 0 {
+		scale = 1
+	}
+	for _, f := range a.feats {
+		d := 0.0
+		if f.wr < w0 {
+			d = w0 - f.wr
+		} else if f.wr > w1 {
+			d = f.wr - w1
+		}
+		s := f.gamma + d
+		if s < scale {
+			scale = s
+		}
+		if s <= width && f.peakGain > hiddenGain {
+			hiddenGain = f.peakGain
+		}
+	}
+	return scale, hiddenGain
+}
+
+// secondDiff estimates σ” over the node triple (i0, i1, i2) by divided
+// differences in log-ω (linear ω when the triple starts at DC).
+func (a *adaptiveState) secondDiff(i0, i1, i2 int) float64 {
+	w0, w1, w2 := a.grid[i0], a.grid[i1], a.grid[i2]
+	var x0, x1, x2 float64
+	if w0 > 0 {
+		x0, x1, x2 = math.Log(w0), math.Log(w1), math.Log(w2)
+	} else {
+		x0, x1, x2 = w0, w1, w2
+	}
+	d10 := (a.sv[i1] - a.sv[i0]) / (x1 - x0)
+	d21 := (a.sv[i2] - a.sv[i1]) / (x2 - x1)
+	return 2 * (d21 - d10) / (x2 - x0)
+}
+
+// localMaxEstimate bounds the in-interval maximum of σ by the larger
+// endpoint value plus a quadratic interpolation-error term built from the
+// neighbouring curvature: max ≲ max(s0, s1) + |σ”|·h²/8.
+func (a *adaptiveState) localMaxEstimate(i int) float64 {
+	w0, w1 := a.grid[i], a.grid[i+1]
+	curv := 0.0
+	if i > 0 {
+		curv = math.Abs(a.secondDiff(i-1, i, i+1))
+	}
+	if i+2 < len(a.grid) {
+		if c := math.Abs(a.secondDiff(i, i+1, i+2)); c > curv {
+			curv = c
+		}
+	}
+	var h float64
+	if w0 > 0 {
+		h = math.Log(w1) - math.Log(w0)
+	} else {
+		h = w1 - w0
+	}
+	return math.Max(a.sv[i], a.sv[i+1]) + curv*h*h/8
+}
+
+// needSplit decides whether interval i is suspicious enough to bisect this
+// stage. The criteria, in order:
+//
+//  1. numerical floor — stop near machine resolution;
+//  2. tail-bound pruning — certified-passive intervals never split;
+//  3. feature resolution — zoom toward any pole whose resonance could
+//     cross the limit until σ is sampled at the pole's half-width scale;
+//  4. edge bracketing — intervals straddling the limit split until the
+//     band edge is located to the relative tolerance;
+//  5. curvature — resolved intervals still split while the local quadratic
+//     error estimate leaves room for a violation between the samples.
+func (a *adaptiveState) needSplit(i int) bool {
+	w0, w1 := a.grid[i], a.grid[i+1]
+	s0, s1 := a.sv[i], a.sv[i+1]
+	width := w1 - w0
+	if width <= 1e-12*w1 {
+		return false
+	}
+	if a.tailBound(w0, w1) <= a.limit {
+		return false
+	}
+	scale, hiddenGain := a.localScale(w0, w1, width)
+	if width > 0.5*scale && math.Max(s0, s1)+hiddenGain > a.limit {
+		return true
+	}
+	above0, above1 := s0 > a.limit, s1 > a.limit
+	if above0 != above1 {
+		return width > a.relTol*w1
+	}
+	if above0 && above1 {
+		// Band interior: resolved at the local scale is enough; the peak
+		// is polished by golden-section refinement afterwards.
+		return false
+	}
+	// Both endpoints below the limit: split only while the local quadratic
+	// estimate leaves room for a genuine crossing between the samples. A
+	// flat plateau arbitrarily close to one has negligible curvature and
+	// must NOT be refined — near-limit local crests are polished by the
+	// golden-section pass in assembleReport, exactly as in the fixed
+	// sweep, so stopping here cannot hide a smooth sub-resolution peak.
+	if a.localMaxEstimate(i) <= a.limit {
+		return false
+	}
+	return width > a.relTol*w1
+}
+
+// midpointOmega bisects an interval on the log axis (linearly for the DC
+// interval).
+func midpointOmega(w0, w1 float64) float64 {
+	if w0 <= 0 {
+		return w1 / 2
+	}
+	return math.Sqrt(w0 * w1)
+}
+
+// merge inserts the freshly evaluated midpoints into the sorted grid.
+func (a *adaptiveState) merge(ws, svs []float64) {
+	grid := make([]float64, 0, len(a.grid)+len(ws))
+	sv := make([]float64, 0, len(a.grid)+len(ws))
+	i, j := 0, 0
+	for i < len(a.grid) || j < len(ws) {
+		if j >= len(ws) || (i < len(a.grid) && a.grid[i] <= ws[j]) {
+			grid = append(grid, a.grid[i])
+			sv = append(sv, a.sv[i])
+			i++
+		} else {
+			grid = append(grid, ws[j])
+			sv = append(sv, svs[j])
+			j++
+		}
+	}
+	a.grid, a.sv = grid, sv
+}
+
+// dedupeSorted drops near-identical frequencies so the divided differences
+// of the curvature estimate stay finite.
+func dedupeSorted(ws []float64) []float64 {
+	out := ws[:0]
+	for i, w := range ws {
+		if i == 0 || w > out[len(out)-1]*(1+1e-12) {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+func checkAdaptive(model *rational.Model, opts CheckOptions) (*Report, error) {
+	rep := &Report{Method: "adaptive", Passive: true}
+	st := &adaptiveState{
+		model:  model,
+		feats:  poleFeatures(model),
+		dSigma: mat.MaxSingularValue(mat.RealToComplex(model.D)),
+		limit:  1 + opts.Tol,
+		relTol: opts.AdaptiveRelTol,
+	}
+
+	// Stage 0: coarse log seed grid with every pole resonance and its
+	// half-width neighbours (shared with the fixed sweep), plus warm-start
+	// frequencies from the previous check of this enforcement run.
+	grid := poleSeededGrid(model, opts.AdaptiveSeedPoints, opts.OmegaMin, opts.OmegaMax)
+	if opts.Cache != nil {
+		for _, w := range opts.Cache.Hot() {
+			if w > 0 && !math.IsInf(w, 1) && !math.IsNaN(w) {
+				grid = append(grid, w)
+			}
+		}
+	}
+	sortFloats(grid)
+	grid = dedupeSorted(grid)
+	st.grid = grid
+	st.sv = sigmaBatch(model, grid, opts.Workers, opts.Cache)
+
+	budget := opts.AdaptiveMaxSamples
+	for stage := 0; stage < opts.AdaptiveMaxStages && budget > 0; stage++ {
+		var mids []float64
+		for i := 0; i+1 < len(st.grid); i++ {
+			if st.needSplit(i) {
+				mids = append(mids, midpointOmega(st.grid[i], st.grid[i+1]))
+			}
+		}
+		if len(mids) == 0 {
+			break
+		}
+		if len(mids) > budget {
+			mids = mids[:budget]
+		}
+		budget -= len(mids)
+		msv := sigmaBatch(model, mids, opts.Workers, opts.Cache)
+		st.merge(mids, msv)
+	}
+
+	rep.Samples = len(st.grid)
+	assembleReport(model, st.grid, st.sv, opts, rep)
+	if opts.Cache != nil {
+		// Seed the next check of this enforcement run with the band
+		// geometry found now: edges and peaks re-localize shrinking bands
+		// in a single stage.
+		var hot []float64
+		for _, v := range rep.Violations {
+			if v.OmegaLo > 0 && !math.IsInf(v.OmegaLo, 1) {
+				hot = append(hot, v.OmegaLo)
+			}
+			hot = append(hot, v.OmegaPeak)
+			if v.OmegaHi > 0 && !math.IsInf(v.OmegaHi, 1) {
+				hot = append(hot, v.OmegaHi)
+			}
+		}
+		opts.Cache.SetHot(hot)
+	}
+	return rep, nil
+}

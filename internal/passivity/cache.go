@@ -1,0 +1,121 @@
+package passivity
+
+import (
+	"repro/internal/mat"
+	"repro/internal/parallel"
+	"repro/internal/rational"
+)
+
+// EvalCache memoizes per-frequency transfer evaluations across repeated
+// passivity checks of the SAME pole set. Two layers with different
+// lifetimes:
+//
+//   - basis vectors k̃(ω) depend only on the poles, which Enforce never
+//     moves, so they stay valid for an entire enforcement run;
+//   - σ_max values additionally depend on the residues and must be dropped
+//     whenever the model is perturbed (InvalidateSigma).
+//
+// The cache also carries the violation-band frequencies found by the
+// previous check (HotFrequencies) into the next check's seed grid, so that
+// enforcement iterations re-localize their shrinking bands in a single
+// refinement stage instead of rediscovering them from the coarse grid.
+//
+// The cache is NOT safe for concurrent use. The adaptive characterizer
+// batches each refinement stage: cache lookups and stores happen on the
+// calling goroutine, only the cache misses fan out through parallel.For,
+// each miss writing its own slot. Results are therefore independent of the
+// worker count.
+type EvalCache struct {
+	basis map[float64][]complex128
+	sigma map[float64]float64
+	hot   []float64
+
+	// Counters for benchmarks and experiment reports.
+	SigmaHits, SigmaMisses int
+}
+
+// NewEvalCache returns an empty cache.
+func NewEvalCache() *EvalCache {
+	return &EvalCache{
+		basis: make(map[float64][]complex128),
+		sigma: make(map[float64]float64),
+	}
+}
+
+// InvalidateSigma drops the σ layer (the model's residues changed) while
+// keeping the pole-dependent basis layer and the hot-frequency seeds.
+func (c *EvalCache) InvalidateSigma() {
+	if c == nil {
+		return
+	}
+	c.sigma = make(map[float64]float64)
+}
+
+// SetHot records seed frequencies for the next check; NaN/±Inf and
+// non-positive entries are dropped by the consumer.
+func (c *EvalCache) SetHot(ws []float64) {
+	if c == nil {
+		return
+	}
+	c.hot = append(c.hot[:0], ws...)
+}
+
+// Hot returns the warm-start frequencies recorded by the previous check.
+func (c *EvalCache) Hot() []float64 { return c.hot }
+
+// sigmaFromBasis evaluates σ_max of S(jω) from a precomputed basis vector.
+func sigmaFromBasis(model *rational.Model, k []complex128) float64 {
+	s := model.EvalWithBasis(k)
+	sv := mat.SingularValuesOnly(s)
+	if len(sv) == 0 {
+		return 0
+	}
+	return sv[0]
+}
+
+// sigmaBatch evaluates σ_max at every frequency of ws, filling cache hits
+// serially and fanning the misses out over up to workers goroutines. The
+// result slice is index-aligned with ws and bitwise independent of the
+// worker count.
+func sigmaBatch(model *rational.Model, ws []float64, workers int, c *EvalCache) []float64 {
+	out := make([]float64, len(ws))
+	if c == nil {
+		parallel.For(workers, len(ws), func(i int) {
+			out[i], _ = sigmaMax(model, ws[i], nil)
+		})
+		return out
+	}
+	// Serial pass over the cache; collect misses.
+	miss := make([]int, 0, len(ws))
+	for i, w := range ws {
+		if s, ok := c.sigma[w]; ok {
+			out[i] = s
+			c.SigmaHits++
+		} else {
+			miss = append(miss, i)
+			c.SigmaMisses++
+		}
+	}
+	if len(miss) == 0 {
+		return out
+	}
+	// Parallel evaluation of the misses: each index owns its output slot
+	// and its (freshly allocated or previously cached) basis vector.
+	bases := make([][]complex128, len(miss))
+	for bi, i := range miss {
+		bases[bi] = c.basis[ws[i]] // nil when absent; filled in the loop
+	}
+	parallel.For(workers, len(miss), func(bi int) {
+		i := miss[bi]
+		if bases[bi] == nil {
+			bases[bi] = model.EvalBasis(ws[i])
+		}
+		out[i] = sigmaFromBasis(model, bases[bi])
+	})
+	// Serial store.
+	for bi, i := range miss {
+		c.basis[ws[i]] = bases[bi]
+		c.sigma[ws[i]] = out[i]
+	}
+	return out
+}

@@ -5,7 +5,6 @@ import (
 	"math"
 
 	"repro/internal/mat"
-	"repro/internal/parallel"
 	"repro/internal/rational"
 )
 
@@ -14,14 +13,38 @@ type Method int
 
 const (
 	// MethodAuto uses the Hamiltonian test for small state dimensions and
-	// the adaptive sweep otherwise.
+	// the multi-stage adaptive characterizer otherwise.
 	MethodAuto Method = iota
 	// MethodHamiltonian always uses the Hamiltonian eigenvalue test
 	// (exact, O((2nP)³)).
 	MethodHamiltonian
-	// MethodSweep always uses the adaptive singular-value frequency sweep.
+	// MethodSweep always uses the fixed-grid singular-value frequency
+	// sweep (pole-seeded log grid).
 	MethodSweep
+	// MethodAdaptive always uses the multi-stage adaptive sampling
+	// characterizer: a coarse seed grid refined only where the local σ(ω)
+	// curvature or pole proximity leaves room for a violation.
+	MethodAdaptive
 )
+
+// Method-selection decision table. Let N = 2·n·P be the Hamiltonian
+// dimension, n the pole count, P the port count:
+//
+//	Method       | Cost                     | Wins when
+//	-------------+--------------------------+----------------------------------
+//	Hamiltonian  | O(N³) eigensolve         | N ≲ HamiltonianMaxDim; exact
+//	             |                          | crossings needed (certification,
+//	             |                          | oracle for the other methods).
+//	Sweep        | SweepPoints × O(P²n+P³)  | mid-size models with broad, well
+//	             |                          | separated violation bands; flat
+//	             |                          | cost profile, trivially parallel.
+//	Adaptive     | ~seeds+zoom × O(P²n+P³)  | large models (N beyond the
+//	             |                          | eigensolve) and/or narrow
+//	             |                          | resonant bands a fixed grid can
+//	             |                          | step over; cheapest inside
+//	             |                          | Enforce via the EvalCache.
+//	Auto         | —                        | Hamiltonian below
+//	             |                          | HamiltonianMaxDim, Adaptive above.
 
 // CheckOptions configures a passivity check.
 type CheckOptions struct {
@@ -40,6 +63,22 @@ type CheckOptions struct {
 	// Workers bounds the goroutines used by the sweep grid evaluation
 	// (0 = GOMAXPROCS, 1 = serial). Results are independent of the value.
 	Workers int
+	// AdaptiveSeedPoints is the coarse log-grid density the adaptive
+	// characterizer starts from (default 64). Pole resonances are always
+	// added on top.
+	AdaptiveSeedPoints int
+	// AdaptiveMaxStages caps the number of refinement stages (default 64).
+	AdaptiveMaxStages int
+	// AdaptiveRelTol is the relative tolerance to which violation-band
+	// edges are bracketed (default 1e-3).
+	AdaptiveRelTol float64
+	// AdaptiveMaxSamples caps the σ evaluations the adaptive refinement
+	// stages may spend beyond the mandatory seed grid (default 20000).
+	AdaptiveMaxSamples int
+	// Cache, when non-nil, memoizes per-frequency evaluations across
+	// checks of the same pole set (see EvalCache). Enforce installs one
+	// automatically. Not safe for concurrent checks.
+	Cache *EvalCache
 }
 
 // Violation is one frequency band where a singular value exceeds one.
@@ -59,6 +98,9 @@ type Report struct {
 	Crossings  []float64 // unit-crossing frequencies (Hamiltonian method)
 	DSigma     float64   // σmax(D): asymptotic passivity
 	Method     string
+	// Samples counts the σ(ω) grid evaluations spent (sweep and adaptive
+	// methods; golden-section peak polishing excluded).
+	Samples int
 }
 
 func (o *CheckOptions) defaults(model *rational.Model) {
@@ -67,6 +109,18 @@ func (o *CheckOptions) defaults(model *rational.Model) {
 	}
 	if o.HamiltonianMaxDim <= 0 {
 		o.HamiltonianMaxDim = 400
+	}
+	if o.AdaptiveSeedPoints <= 1 {
+		o.AdaptiveSeedPoints = 64
+	}
+	if o.AdaptiveMaxStages <= 0 {
+		o.AdaptiveMaxStages = 64
+	}
+	if o.AdaptiveRelTol <= 0 {
+		o.AdaptiveRelTol = 1e-3
+	}
+	if o.AdaptiveMaxSamples <= 0 {
+		o.AdaptiveMaxSamples = 20000
 	}
 	if o.Tol <= 0 {
 		o.Tol = 1e-9
@@ -103,7 +157,7 @@ func Check(model *rational.Model, opts CheckOptions) (*Report, error) {
 		if 2*model.NumPoles()*model.Ports() <= opts.HamiltonianMaxDim {
 			method = MethodHamiltonian
 		} else {
-			method = MethodSweep
+			method = MethodAdaptive
 		}
 	}
 	var rep *Report
@@ -113,6 +167,8 @@ func Check(model *rational.Model, opts CheckOptions) (*Report, error) {
 		rep, err = checkHamiltonian(model, opts)
 	case MethodSweep:
 		rep, err = checkSweep(model, opts)
+	case MethodAdaptive:
+		rep, err = checkAdaptive(model, opts)
 	default:
 		return nil, fmt.Errorf("passivity: unknown method %d", opts.Method)
 	}
@@ -225,18 +281,19 @@ func refinePeak(model *rational.Model, lo, hi, seed float64) (float64, float64) 
 	return math.Exp(lw), sv
 }
 
-func checkSweep(model *rational.Model, opts CheckOptions) (*Report, error) {
-	rep := &Report{Method: "sweep", Passive: true}
-	n := opts.SweepPoints
+// poleSeededGrid builds the sample grid shared by checkSweep and the
+// adaptive stage 0: the DC point, an n-point log-spaced grid over
+// [omegaMin, omegaMax], and every pole's resonance frequency with
+// neighbours scaled by its damping. Narrow resonance peaks can slip
+// between log-grid points; the pole seeds put samples where σ maxima
+// live. The result is unsorted.
+func poleSeededGrid(model *rational.Model, n int, omegaMin, omegaMax float64) []float64 {
 	grid := make([]float64, 0, n+1+3*len(model.Poles))
 	grid = append(grid, 0)
 	for i := 0; i < n; i++ {
 		t := float64(i) / float64(n-1)
-		grid = append(grid, opts.OmegaMin*math.Pow(opts.OmegaMax/opts.OmegaMin, t))
+		grid = append(grid, omegaMin*math.Pow(omegaMax/omegaMin, t))
 	}
-	// Narrow resonance peaks can slip between log-grid points; seed the
-	// grid with every pole's resonance frequency (and neighbours scaled by
-	// its damping) where σ maxima live.
 	for _, p := range model.Poles {
 		wr := math.Abs(imag(p))
 		if wr == 0 {
@@ -253,11 +310,26 @@ func checkSweep(model *rational.Model, opts CheckOptions) (*Report, error) {
 			grid = append(grid, lo)
 		}
 	}
+	return grid
+}
+
+func checkSweep(model *rational.Model, opts CheckOptions) (*Report, error) {
+	rep := &Report{Method: "sweep", Passive: true}
+	grid := poleSeededGrid(model, opts.SweepPoints, opts.OmegaMin, opts.OmegaMax)
 	sortFloats(grid)
-	sv := make([]float64, len(grid))
-	parallel.For(opts.Workers, len(grid), func(i int) {
-		sv[i], _ = sigmaMax(model, grid[i], nil)
-	})
+	sv := sigmaBatch(model, grid, opts.Workers, opts.Cache)
+	rep.Samples = len(grid)
+	assembleReport(model, grid, sv, opts, rep)
+	return rep, nil
+}
+
+// assembleReport turns a sampled σ(ω) grid into a Report: it records the
+// global maximum, polishes near-limit local maxima by golden-section
+// refinement (a peak sampled slightly off-crest can hide a violation), and
+// scans contiguous runs above the limit into violation bands with
+// interpolated edges. grid must be sorted ascending; sv is index-aligned
+// and is sharpened in place.
+func assembleReport(model *rational.Model, grid, sv []float64, opts CheckOptions, rep *Report) {
 	for i, w := range grid {
 		if sv[i] > rep.MaxSigma {
 			rep.MaxSigma, rep.MaxOmega = sv[i], w
@@ -329,7 +401,6 @@ func checkSweep(model *rational.Model, opts CheckOptions) (*Report, error) {
 		rep.Passive = false
 		i = j
 	}
-	return rep, nil
 }
 
 // interpCrossing linearly interpolates the ω where σ crosses 1 between two

@@ -116,6 +116,13 @@ func Enforce(model *rational.Model, opts EnforceOptions) (*EnforceReport, error)
 	if err != nil {
 		return nil, fmt.Errorf("passivity: cost Gramian not positive definite: %w", err)
 	}
+	if opts.Check.Cache == nil {
+		// The loop re-checks the model every sweep with the poles fixed:
+		// share one evaluation cache so the basis vectors k̃(ω) are built
+		// once per frequency, and let the adaptive characterizer warm-start
+		// from the previous sweep's violation bands.
+		opts.Check.Cache = NewEvalCache()
+	}
 
 	for iter := 0; iter < opts.MaxIterations; iter++ {
 		chk, err := Check(model, opts.Check)
@@ -139,6 +146,9 @@ func Enforce(model *rational.Model, opts EnforceOptions) (*EnforceReport, error)
 		if err != nil {
 			return nil, fmt.Errorf("passivity: iteration %d: %w", iter, err)
 		}
+		// The residues moved: cached σ values are stale, the pole-dependent
+		// basis vectors stay valid.
+		opts.Check.Cache.InvalidateSigma()
 		rep.History = append(rep.History, IterationStats{
 			MaxSigma:    chk.MaxSigma,
 			Constraints: len(cons),

@@ -121,8 +121,8 @@ func TestCheckAutoSelectsMethod(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Method != "sweep" {
-		t.Fatalf("forced-large model should sweep, got %s", rep.Method)
+	if rep.Method != "adaptive" {
+		t.Fatalf("forced-large model should use the adaptive characterizer, got %s", rep.Method)
 	}
 }
 

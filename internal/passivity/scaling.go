@@ -42,8 +42,14 @@ func EnforceByResidueScaling(model *rational.Model, opts EnforceOptions) (*Scali
 		clampDMatrix(model, 1-2*opts.Margin)
 	}
 
+	if opts.Check.Cache == nil {
+		// Every bisection probe shares the pole set; the cache keeps the
+		// basis vectors and the adaptive warm-start grid across probes.
+		opts.Check.Cache = NewEvalCache()
+	}
 	passiveAt := func(gamma float64) (bool, *Report, error) {
 		rep.Checks++
+		opts.Check.Cache.InvalidateSigma()
 		chk, err := Check(scaledClone(model, gamma), opts.Check)
 		if err != nil {
 			return false, nil, err

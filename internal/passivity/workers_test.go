@@ -2,6 +2,7 @@ package passivity
 
 import (
 	"math"
+	"reflect"
 	"testing"
 )
 
@@ -31,6 +32,61 @@ func TestSweepWorkersDoNotChangeResult(t *testing.T) {
 				t.Fatalf("workers case %d: violation %d peak differs", i, k)
 			}
 		}
+	}
+}
+
+// TestAdaptiveWorkersBitwiseIdentical: the staged refinement batches its
+// parallel evaluations so that every decision is taken on the calling
+// goroutine — the whole Report must be bitwise identical for any worker
+// count, not merely within tolerance.
+func TestAdaptiveWorkersBitwiseIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts CheckOptions
+	}{
+		{"mimo", CheckOptions{Method: MethodAdaptive, OmegaMin: 0.1, OmegaMax: 1e4}},
+		{"mimo-cached", CheckOptions{Method: MethodAdaptive, OmegaMin: 0.1, OmegaMax: 1e4}},
+	} {
+		var reports []*Report
+		for _, workers := range []int{1, 2, 8} {
+			m := nonPassiveMIMO(t)
+			opts := tc.opts
+			opts.Workers = workers
+			if tc.name == "mimo-cached" {
+				opts.Cache = NewEvalCache()
+			}
+			rep, err := Check(m, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reports = append(reports, rep)
+		}
+		for i, rep := range reports[1:] {
+			if !reflect.DeepEqual(rep, reports[0]) {
+				t.Fatalf("%s: workers case %d not bitwise identical:\n%+v\nvs\n%+v",
+					tc.name, i, rep, reports[0])
+			}
+		}
+	}
+
+	// The large synthetic narrow-band model exercises deep refinement.
+	var reports []*Report
+	for _, workers := range []int{1, 8} {
+		m, err := SyntheticModel(SyntheticOptions{
+			Ports: 3, Poles: 80, Seed: 5, NarrowBand: true, PeakGain: 0.1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Check(m, CheckOptions{Method: MethodAdaptive, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports = append(reports, rep)
+	}
+	if !reflect.DeepEqual(reports[0], reports[1]) {
+		t.Fatalf("narrow-band model: workers changed the report:\n%+v\nvs\n%+v",
+			reports[0], reports[1])
 	}
 }
 

@@ -177,8 +177,19 @@ func (m *Model) AddToCVector(i, j int, delta []float64) {
 
 // Eval returns H(jω) as a complex P×P matrix.
 func (m *Model) Eval(omega float64) *mat.CMatrix {
+	return m.EvalWithBasis(m.EvalBasis(omega))
+}
+
+// EvalWithBasis combines a precomputed partial-fraction basis vector k
+// (as returned by EvalBasis) with the current residues and D. Callers that
+// sample the same frequencies repeatedly while only the residues change —
+// the passivity enforcement loop, which never moves poles — can cache the
+// basis once per frequency and skip its recomputation.
+func (m *Model) EvalWithBasis(k []complex128) *mat.CMatrix {
+	if len(k) != len(m.Poles) {
+		panic("rational: EvalWithBasis length mismatch")
+	}
 	p := m.Ports()
-	k := m.EvalBasis(omega)
 	h := mat.NewCMatrix(p, p)
 	for i := 0; i < p; i++ {
 		for j := 0; j < p; j++ {

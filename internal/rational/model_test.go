@@ -311,3 +311,44 @@ func TestIsSymmetric(t *testing.T) {
 		t.Fatalf("asymmetry not detected")
 	}
 }
+
+func TestEvalWithBasisMatchesEval(t *testing.T) {
+	// EvalWithBasis on a cached basis must reproduce Eval exactly, including
+	// after the residues change under the fixed pole set (the enforcement
+	// caching scenario).
+	m := testModel(t)
+	for _, omega := range []float64{0, 0.5, 3, 12, 100} {
+		k := m.EvalBasis(omega)
+		want := m.Eval(omega)
+		got := m.EvalWithBasis(k)
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("ω=%v: EvalWithBasis %v vs Eval %v", omega, got.Data[i], want.Data[i])
+			}
+		}
+		// Perturb residues, reuse the same basis.
+		pert := m.Clone()
+		delta := make([]float64, pert.NumPoles())
+		for d := range delta {
+			delta[d] = 0.01 * float64(d+1)
+		}
+		pert.AddToCVector(0, 1, delta)
+		want = pert.Eval(omega)
+		got = pert.EvalWithBasis(k)
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("ω=%v after perturbation: %v vs %v", omega, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestEvalWithBasisRejectsLengthMismatch(t *testing.T) {
+	m := testModel(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on basis length mismatch")
+		}
+	}()
+	m.EvalWithBasis(make([]complex128, m.NumPoles()+1))
+}

@@ -75,12 +75,38 @@ type PassivityReport struct {
 	MaxFreqHz  float64
 	DSigma     float64 // σ_max(D), asymptotic passivity
 	Violations []PassivityViolation
-	Method     string // "hamiltonian" or "sweep"
+	Method     string // "hamiltonian", "sweep" or "adaptive"
+	// Samples counts the σ grid evaluations spent (sweep and adaptive
+	// methods).
+	Samples int
 }
+
+// CheckMethod selects the passivity detection algorithm. See the decision
+// table in internal/passivity: the Hamiltonian test is exact but O((2nP)³);
+// the sweep is a fixed pole-seeded log grid; the adaptive characterizer
+// refines a coarse grid only where σ(ω) curvature or pole proximity leaves
+// room for a violation, scaling to models far beyond the eigensolve while
+// still resolving narrow resonant bands a fixed grid steps over.
+type CheckMethod int
+
+const (
+	// CheckAuto picks the Hamiltonian test for small state dimensions and
+	// the adaptive characterizer otherwise.
+	CheckAuto CheckMethod = iota
+	// CheckHamiltonian forces the exact Hamiltonian eigenvalue test.
+	CheckHamiltonian
+	// CheckSweep forces the fixed-grid singular-value sweep.
+	CheckSweep
+	// CheckAdaptive forces the multi-stage adaptive characterizer.
+	CheckAdaptive
+)
 
 // CheckOptions tunes passivity detection.
 type CheckOptions struct {
+	// Method selects the detection algorithm (default CheckAuto).
+	Method CheckMethod
 	// ForceSweep skips the Hamiltonian test regardless of model size.
+	// Deprecated shorthand for Method: CheckSweep; an explicit Method wins.
 	ForceSweep bool
 	// FreqMin/FreqMax bound the sweep band in Hz (0 = derive from poles).
 	FreqMin, FreqMax float64
@@ -89,17 +115,38 @@ type CheckOptions struct {
 	// Workers bounds the goroutines of the sweep evaluation
 	// (0 = GOMAXPROCS, 1 = serial); the result does not depend on it.
 	Workers int
+	// AdaptiveSeedPoints sets the adaptive characterizer's coarse seed
+	// grid density (0 = default 64); pole resonances are always added.
+	AdaptiveSeedPoints int
+	// AdaptiveRelTol is the relative tolerance to which the adaptive
+	// characterizer brackets violation-band edges (0 = default 1e-3).
+	AdaptiveRelTol float64
+	// AdaptiveMaxSamples caps the adaptive refinement's σ evaluations
+	// beyond the seed grid (0 = default 20000).
+	AdaptiveMaxSamples int
 }
 
 func (o CheckOptions) internal() passivity.CheckOptions {
 	opts := passivity.CheckOptions{
-		OmegaMin:    2 * math.Pi * o.FreqMin,
-		OmegaMax:    2 * math.Pi * o.FreqMax,
-		SweepPoints: o.SweepPoints,
-		Workers:     o.Workers,
+		OmegaMin:           2 * math.Pi * o.FreqMin,
+		OmegaMax:           2 * math.Pi * o.FreqMax,
+		SweepPoints:        o.SweepPoints,
+		Workers:            o.Workers,
+		AdaptiveSeedPoints: o.AdaptiveSeedPoints,
+		AdaptiveRelTol:     o.AdaptiveRelTol,
+		AdaptiveMaxSamples: o.AdaptiveMaxSamples,
 	}
-	if o.ForceSweep {
+	switch o.Method {
+	case CheckHamiltonian:
+		opts.Method = passivity.MethodHamiltonian
+	case CheckSweep:
 		opts.Method = passivity.MethodSweep
+	case CheckAdaptive:
+		opts.Method = passivity.MethodAdaptive
+	default:
+		if o.ForceSweep {
+			opts.Method = passivity.MethodSweep
+		}
 	}
 	return opts
 }
@@ -111,6 +158,7 @@ func toPublicReport(rep *passivity.Report) *PassivityReport {
 		MaxFreqHz: rep.MaxOmega / (2 * math.Pi),
 		DSigma:    rep.DSigma,
 		Method:    rep.Method,
+		Samples:   rep.Samples,
 	}
 	for _, v := range rep.Violations {
 		out.Violations = append(out.Violations, PassivityViolation{
@@ -124,7 +172,8 @@ func toPublicReport(rep *passivity.Report) *PassivityReport {
 }
 
 // CheckPassivity assesses the model: Hamiltonian imaginary-eigenvalue test
-// for small state dimensions, adaptive singular-value sweep otherwise.
+// for small state dimensions, multi-stage adaptive singular-value
+// characterization otherwise (see CheckMethod to force one).
 func CheckPassivity(m *Macromodel, opts CheckOptions) (*PassivityReport, error) {
 	rep, err := passivity.Check(m.model, opts.internal())
 	if err != nil {

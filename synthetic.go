@@ -3,6 +3,7 @@ package repro
 import (
 	"fmt"
 
+	"repro/internal/passivity"
 	"repro/internal/synthpdn"
 )
 
@@ -58,4 +59,42 @@ func GeneratePDN(preset PDNPreset, freqHz []float64, r0 float64) (*SyntheticPDN,
 		roles[i] = r.String()
 	}
 	return &SyntheticPDN{Data: data, Load: p.NominalLoad(), Roles: roles}, nil
+}
+
+// SyntheticModelOptions configures SyntheticMacromodel.
+type SyntheticModelOptions struct {
+	// Ports is the port count P (default 2).
+	Ports int
+	// Poles is the model order n (default 20).
+	Poles int
+	// Seed drives the deterministic random construction.
+	Seed int64
+	// PeakGain caps each background pole's resonance strength (default
+	// 0.25; values near or above 1−σmax(D) produce near-passive and
+	// violating models).
+	PeakGain float64
+	// NarrowBand plants a high-Q off-resonance violation band (relative
+	// width ~3e-4) that fixed-grid sweeps step over — the stress case for
+	// passivity characterization at scale.
+	NarrowBand bool
+}
+
+// SyntheticMacromodel builds a random stable scattering macromodel with
+// controlled passivity structure, bypassing the fitting stage. It feeds
+// the passivity characterization benchmarks and tests: model size and the
+// presence of a deliberately narrow violation band are dialed directly,
+// which no fitted dataset allows. Frequencies are normalized (resonances
+// span ~1–1e4 rad/s); the reference resistance is fixed at 50 Ω.
+func SyntheticMacromodel(opts SyntheticModelOptions) (*Macromodel, error) {
+	m, err := passivity.SyntheticModel(passivity.SyntheticOptions{
+		Ports:      opts.Ports,
+		Poles:      opts.Poles,
+		Seed:       opts.Seed,
+		PeakGain:   opts.PeakGain,
+		NarrowBand: opts.NarrowBand,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Macromodel{model: m, r0: 50}, nil
 }
