@@ -43,9 +43,10 @@ func main() {
 		"1": ctx.Fig1, "2": ctx.Fig2, "3": ctx.Fig3,
 		"4": ctx.Fig4, "5": ctx.Fig5, "6": ctx.Fig6,
 		"A": ctx.ExtA, "B": ctx.ExtB, "C": ctx.ExtC, "D": ctx.ExtD, "E": ctx.ExtE,
+		"F": ctx.ExtF,
 	}
 	figOrder := []string{"1", "2", "3", "4", "5", "6"}
-	extOrder := []string{"A", "B", "C", "D", "E"}
+	extOrder := []string{"A", "B", "C", "D", "E", "F"}
 
 	var keys []string
 	switch strings.ToLower(*fig) {

@@ -6,13 +6,20 @@
 //
 //	passcheck [-ports N] [-fit n] [-enforce] [-save out.json] [-method m] input.s4p
 //	passcheck -model model.json [-enforce] [-save out.json] [-method m]
+//	passcheck -batch 'lib/*.json' [-enforce] [-workers N] [-save-dir out/]
 //
 // -method selects the detection algorithm: auto (Hamiltonian for small
 // models, multi-stage adaptive sampling otherwise), hamiltonian, sweep, or
 // adaptive. -sweep tunes the fixed sweep's grid density; the adaptive
 // method ignores it and is tuned by -seedpoints instead.
 //
-// Exit status: 0 when the final artifact is passive, 1 when not, 2 on
+// -batch runs over a whole model library (a glob of saved macromodel JSON
+// files): with -enforce the models are enforced in parallel shards
+// (-workers) through the batch subsystem, otherwise each is checked. Per-
+// model failures are reported without aborting the batch; -save-dir writes
+// the final models under their original base names.
+//
+// Exit status: 0 when every final artifact is passive, 1 when not, 2 on
 // usage or I/O errors.
 package main
 
@@ -20,6 +27,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 
 	repro "repro"
 )
@@ -38,6 +47,9 @@ func main() {
 	sweep := flag.Int("sweep", 1200, "sweep grid points for the model check")
 	seedPoints := flag.Int("seedpoints", 0, "adaptive method: coarse seed grid points (0 = library default)")
 	method := flag.String("method", "auto", "passivity check method: auto|hamiltonian|sweep|adaptive")
+	batch := flag.String("batch", "", "glob of saved macromodel JSON files to process as a library")
+	workers := flag.Int("workers", 0, "batch mode: model-level parallel shards (0 = GOMAXPROCS)")
+	saveDir := flag.String("save-dir", "", "batch mode: directory to save final models into")
 	flag.Parse()
 
 	var checkMethod repro.CheckMethod
@@ -52,6 +64,15 @@ func main() {
 		checkMethod = repro.CheckAdaptive
 	default:
 		fail(2, "unknown -method %q (want auto, hamiltonian, sweep or adaptive)", *method)
+	}
+
+	chkBase := repro.CheckOptions{Method: checkMethod, SweepPoints: *sweep, AdaptiveSeedPoints: *seedPoints}
+	if *batch != "" {
+		if flag.NArg() != 0 {
+			fail(2, "-batch takes no positional arguments (got %d)", flag.NArg())
+		}
+		runBatch(*batch, chkBase, *enforce, *workers, *saveDir)
+		return
 	}
 
 	var model *repro.Macromodel
@@ -96,7 +117,7 @@ func main() {
 		fail(2, "need exactly one Touchstone file or -model (got %d args)", flag.NArg())
 	}
 
-	chkOpts := repro.CheckOptions{Method: checkMethod, SweepPoints: *sweep, AdaptiveSeedPoints: *seedPoints}
+	chkOpts := chkBase
 	rep, err := repro.CheckPassivity(model, chkOpts)
 	if err != nil {
 		fail(2, "check: %v", err)
@@ -119,6 +140,83 @@ func main() {
 		fmt.Printf("saved model to %s\n", *save)
 	}
 	if !rep.Passive {
+		os.Exit(1)
+	}
+}
+
+// runBatch processes a library of saved models: load every glob match,
+// check or enforce the whole set, print per-model lines plus aggregate
+// stats, and exit with the library verdict.
+func runBatch(glob string, chkOpts repro.CheckOptions, enforce bool, workers int, saveDir string) {
+	paths, err := filepath.Glob(glob)
+	if err != nil {
+		fail(2, "bad -batch pattern %q: %v", glob, err)
+	}
+	if len(paths) == 0 {
+		fail(2, "-batch %q matched no files", glob)
+	}
+	sort.Strings(paths)
+	models := make([]*repro.Macromodel, len(paths))
+	for i, p := range paths {
+		if models[i], err = repro.LoadMacromodel(p); err != nil {
+			fail(2, "loading %s: %v", p, err)
+		}
+	}
+	fmt.Printf("batch: %d models\n", len(models))
+
+	allPassive := true
+	if enforce {
+		rep, err := repro.EnforcePassivityBatch(models, repro.BatchEnforceOptions{
+			Enforce: repro.EnforceOptions{Check: chkOpts, ClampD: true},
+			Workers: workers,
+		})
+		if err != nil {
+			fail(2, "batch enforce: %v", err)
+		}
+		for i, p := range paths {
+			switch {
+			case rep.Errors[i] != nil:
+				fmt.Printf("  %s: FAILED: %v\n", p, rep.Errors[i])
+				allPassive = false
+			default:
+				r := rep.Reports[i]
+				fmt.Printf("  %s: passive=%v iterations=%d σmax=%.6f\n",
+					p, r.Passive, r.Iterations, r.Final.MaxSigma)
+				if !r.Passive {
+					allPassive = false
+				}
+			}
+		}
+		fmt.Printf("batch summary: %d/%d passive, %d failed, %d total iterations, worst σ=%.6f\n",
+			rep.Passive, rep.Models, rep.Failed, rep.TotalIterations, rep.WorstSigma)
+	} else {
+		for i, p := range paths {
+			rep, err := repro.CheckPassivity(models[i], chkOpts)
+			if err != nil {
+				fmt.Printf("  %s: FAILED: %v\n", p, err)
+				allPassive = false
+				continue
+			}
+			fmt.Printf("  %s: passive=%v σmax=%.6f at %.4g Hz (%d samples)\n",
+				p, rep.Passive, rep.MaxSigma, rep.MaxFreqHz, rep.Samples)
+			if !rep.Passive {
+				allPassive = false
+			}
+		}
+	}
+	if saveDir != "" {
+		if err := os.MkdirAll(saveDir, 0o755); err != nil {
+			fail(2, "creating %s: %v", saveDir, err)
+		}
+		for i, p := range paths {
+			out := filepath.Join(saveDir, filepath.Base(p))
+			if err := models[i].SaveFile(out); err != nil {
+				fail(2, "saving %s: %v", out, err)
+			}
+		}
+		fmt.Printf("saved %d models to %s\n", len(paths), saveDir)
+	}
+	if !allPassive {
 		os.Exit(1)
 	}
 }

@@ -73,6 +73,37 @@
 //   - SData.Renormalized, SDataFromAdmittance, SDataFromImpedance: the §V
 //     representation-independence claim, exercisable end to end.
 //
+// # Performance: workspaces and batch enforcement
+//
+// The per-frequency hot path of characterization and enforcement —
+// transfer evaluation plus a P×P singular value decomposition, repeated
+// across every sweep — is allocation-free after warm-up. The internal
+// packages follow a uniform "…Into" convention for this:
+//
+//   - An …Into function writes into a caller-owned buffer (a slice or a
+//     workspace struct) and returns it; the buffer is grown only when too
+//     small, so a warmed buffer is reused forever. Examples:
+//     rational.EvalBasisInto / EvalWithBasisInto, mat.CSVDecomposeInto /
+//     SingularValuesInto (driven by a mat.CSVDWorkspace),
+//     mat.Cholesky.SolveVecInto, mat.MulInto / CMulInto.
+//   - The caller owns the buffers and their lifetime. Results returned by
+//     a workspace (e.g. the CSVD of CSVDecomposeInto) stay valid only
+//     until the next call on the same workspace.
+//   - Workspaces are single-goroutine. Parallel sweeps hand each worker a
+//     private workspace (parallel.ForWorker provides the stable worker
+//     identity); every index still writes only its own output slot, so
+//     results remain bitwise independent of the worker count.
+//
+// Enforcement additionally shares one EvalCache per run: pole-basis
+// vectors are computed once per frequency and survive residue
+// perturbations (including the golden-section peak refinement's off-grid
+// probes), with an LRU bound for long-running services.
+//
+// Model libraries are processed by EnforcePassivityBatch, which shards
+// models across workers — per-worker workspaces, per-model caches — and
+// aggregates per-model reports. Its results are bitwise identical to
+// sequential per-model EnforcePassivity runs at every worker count.
+//
 // # Data
 //
 // Scattering data can be loaded from Touchstone files (ReadTouchstone),

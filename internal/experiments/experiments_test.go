@@ -115,8 +115,8 @@ func TestExtensionsRunAndHoldShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 5 {
-		t.Fatalf("expected 5 extension experiments, got %d", len(results))
+	if len(results) != 6 {
+		t.Fatalf("expected 6 extension experiments, got %d", len(results))
 	}
 	for _, r := range results {
 		if len(r.Series) == 0 || len(r.Metrics) == 0 {
@@ -173,6 +173,17 @@ func TestExtensionsRunAndHoldShape(t *testing.T) {
 	}
 	if extE.Metrics["adaptive_samples"] <= 0 || extE.Metrics["sweep_samples"] <= 0 {
 		t.Fatalf("Ext-E: missing sample accounting: %+v", extE.Metrics)
+	}
+
+	extF := results[5]
+	if extF.Metrics["bitwise_identical"] != 1 {
+		t.Fatalf("Ext-F: batch enforcement diverged from sequential: %+v", extF.Metrics)
+	}
+	if extF.Metrics["batch_passive"] != extF.Metrics["library_size"] || extF.Metrics["batch_failed"] != 0 {
+		t.Fatalf("Ext-F: library not fully enforced: %+v", extF.Metrics)
+	}
+	if extF.Metrics["batch_iterations"] != extF.Metrics["sequential_iters"] {
+		t.Fatalf("Ext-F: batch and sequential iteration counts differ: %+v", extF.Metrics)
 	}
 }
 

@@ -16,11 +16,15 @@ package experiments
 //	Ext-E  multi-stage adaptive passivity characterization vs the fixed
 //	       pole-seeded sweep: verdict cross-validation, sample economics,
 //	       and an adaptive-driven enforcement run
+//	Ext-F  batch enforcement of a model library: sharded EnforcePassivityBatch
+//	       vs sequential per-model enforcement, with bitwise cross-validation
+//	       of the resulting models and wall-clock economics
 
 import (
 	"fmt"
 	"math"
 	"math/cmplx"
+	"time"
 
 	repro "repro"
 )
@@ -508,10 +512,116 @@ func b2f(b bool) float64 {
 	return 0
 }
 
+// ExtF — batch enforcement of a model library. A deterministic library of
+// violating synthetic macromodels is enforced twice: sequentially, one
+// EnforcePassivity call per model, and through the sharded
+// EnforcePassivityBatch. The experiment cross-validates that the batch
+// path is bitwise identical to the sequential one (sampled transfer
+// matrices of every pair of enforced models compared exactly) and reports
+// the wall-clock economics of the sharding — the unit of scale-out for
+// model-library services.
+func (c *Context) ExtF() (*FigResult, error) {
+	const libSize = 8
+	build := func() ([]*repro.Macromodel, error) {
+		lib := make([]*repro.Macromodel, libSize)
+		for i := range lib {
+			m, err := repro.SyntheticMacromodel(repro.SyntheticModelOptions{
+				Ports: 2, Poles: 30, Seed: int64(100 + i), PeakGain: 1.1,
+			})
+			if err != nil {
+				return nil, err
+			}
+			lib[i] = m
+		}
+		return lib, nil
+	}
+
+	seq, err := build()
+	if err != nil {
+		return nil, err
+	}
+	opts := repro.EnforceOptions{
+		Check:  repro.CheckOptions{Method: repro.CheckAdaptive},
+		ClampD: true,
+	}
+	seqStart := time.Now()
+	seqIters := 0
+	for i, m := range seq {
+		rep, err := repro.EnforcePassivity(m, opts)
+		if err != nil {
+			return nil, fmt.Errorf("sequential enforcement of model %d: %w", i, err)
+		}
+		seqIters += rep.Iterations
+	}
+	seqElapsed := time.Since(seqStart)
+
+	bat, err := build()
+	if err != nil {
+		return nil, err
+	}
+	batStart := time.Now()
+	brep, err := repro.EnforcePassivityBatch(bat, repro.BatchEnforceOptions{Enforce: opts})
+	if err != nil {
+		return nil, fmt.Errorf("batch enforcement: %w", err)
+	}
+	batElapsed := time.Since(batStart)
+	for i, e := range brep.Errors {
+		if e != nil {
+			return nil, fmt.Errorf("batch enforcement of model %d: %w", i, e)
+		}
+	}
+
+	// Bitwise cross-validation: the enforced models must agree exactly.
+	probes := []float64{0.13, 1.7, 23, 170, 2300, 1.7e4}
+	identical := true
+	for i := range seq {
+		for _, f := range probes {
+			a, b := seq[i].Eval(f), bat[i].Eval(f)
+			for r := range a {
+				for col := range a[r] {
+					if a[r][col] != b[r][col] {
+						identical = false
+					}
+				}
+			}
+		}
+	}
+
+	series := &Series{
+		Name:    "extF_per_model_iterations",
+		Columns: map[string][]float64{},
+		Order:   []string{"iterations", "final_sigma"},
+		XLabel:  "model_index",
+	}
+	for i, r := range brep.Reports {
+		series.FreqHz = append(series.FreqHz, float64(i))
+		series.Columns["iterations"] = append(series.Columns["iterations"], float64(r.Iterations))
+		series.Columns["final_sigma"] = append(series.Columns["final_sigma"], r.Final.MaxSigma)
+	}
+
+	return &FigResult{
+		Figure: "Ext-F: sharded batch enforcement of a model library",
+		Series: []*Series{series},
+		Metrics: map[string]float64{
+			"library_size":      float64(brep.Models),
+			"batch_passive":     float64(brep.Passive),
+			"batch_failed":      float64(brep.Failed),
+			"batch_iterations":  float64(brep.TotalIterations),
+			"sequential_iters":  float64(seqIters),
+			"sequential_ms":     float64(seqElapsed.Milliseconds()),
+			"batch_ms":          float64(batElapsed.Milliseconds()),
+			"batch_speedup":     seqElapsed.Seconds() / math.Max(batElapsed.Seconds(), 1e-9),
+			"bitwise_identical": b2f(identical),
+			"worst_sigma_after": brep.WorstSigma,
+		},
+		Notes: []string{"batch sharding reuses per-worker workspaces across models; speedup tracks GOMAXPROCS on multi-core hosts"},
+	}, nil
+}
+
 // Extensions runs every extension experiment in order.
 func (c *Context) Extensions() ([]*FigResult, error) {
 	var out []*FigResult
-	for _, fn := range []func() (*FigResult, error){c.ExtA, c.ExtB, c.ExtC, c.ExtD, c.ExtE} {
+	for _, fn := range []func() (*FigResult, error){c.ExtA, c.ExtB, c.ExtC, c.ExtD, c.ExtE, c.ExtF} {
 		r, err := fn()
 		if err != nil {
 			return out, err

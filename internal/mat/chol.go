@@ -81,29 +81,35 @@ func (c *Cholesky) L() *Matrix { return c.l }
 
 // SolveVec solves A·x = b using the factorization.
 func (c *Cholesky) SolveVec(b []float64) []float64 {
+	return c.SolveVecInto(make([]float64, c.l.Rows), b)
+}
+
+// SolveVecInto solves A·x = b into the caller-owned dst (allocation-free).
+// dst may alias b; it must have length n.
+func (c *Cholesky) SolveVecInto(dst, b []float64) []float64 {
 	n := c.l.Rows
-	if len(b) != n {
-		panic("mat: Cholesky SolveVec length mismatch")
+	if len(b) != n || len(dst) != n {
+		panic("mat: Cholesky SolveVecInto length mismatch")
 	}
-	// L·y = b
-	y := make([]float64, n)
+	// L·y = b (y stored in dst; dst[j] for j < i is already y_j, so b and
+	// dst may share storage).
 	for i := 0; i < n; i++ {
 		s := b[i]
 		row := c.l.Row(i)
 		for j := 0; j < i; j++ {
-			s -= row[j] * y[j]
+			s -= row[j] * dst[j]
 		}
-		y[i] = s / row[i]
+		dst[i] = s / row[i]
 	}
 	// Lᵀ·x = y
 	for i := n - 1; i >= 0; i-- {
-		s := y[i]
+		s := dst[i]
 		for j := i + 1; j < n; j++ {
-			s -= c.l.At(j, i) * y[j]
+			s -= c.l.At(j, i) * dst[j]
 		}
-		y[i] = s / c.l.At(i, i)
+		dst[i] = s / c.l.At(i, i)
 	}
-	return y
+	return dst
 }
 
 // Solve solves A·X = B.

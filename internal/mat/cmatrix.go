@@ -168,27 +168,40 @@ func CMulInto(dst, a, b *CMatrix) {
 
 // MulVec returns m·x.
 func (m *CMatrix) MulVec(x []complex128) []complex128 {
-	if m.Cols != len(x) {
-		panic("mat: MulVec shape mismatch")
+	return m.MulVecInto(make([]complex128, m.Rows), x)
+}
+
+// MulVecInto computes dst = m·x into the caller-owned dst
+// (allocation-free). dst must have length m.Rows and not alias x.
+func (m *CMatrix) MulVecInto(dst, x []complex128) []complex128 {
+	if m.Cols != len(x) || len(dst) != m.Rows {
+		panic("mat: MulVecInto shape mismatch")
 	}
-	y := make([]complex128, m.Rows)
 	for i := 0; i < m.Rows; i++ {
 		row := m.Row(i)
 		var s complex128
 		for j, v := range row {
 			s += v * x[j]
 		}
-		y[i] = s
+		dst[i] = s
 	}
-	return y
+	return dst
 }
 
 // MulVecH returns mᴴ·x.
 func (m *CMatrix) MulVecH(x []complex128) []complex128 {
-	if m.Rows != len(x) {
-		panic("mat: MulVecH shape mismatch")
+	return m.MulVecHInto(make([]complex128, m.Cols), x)
+}
+
+// MulVecHInto computes dst = mᴴ·x into the caller-owned dst
+// (allocation-free). dst must have length m.Cols and not alias x.
+func (m *CMatrix) MulVecHInto(dst, x []complex128) []complex128 {
+	if m.Rows != len(x) || len(dst) != m.Cols {
+		panic("mat: MulVecHInto shape mismatch")
 	}
-	y := make([]complex128, m.Cols)
+	for i := range dst {
+		dst[i] = 0
+	}
 	for i := 0; i < m.Rows; i++ {
 		row := m.Row(i)
 		xi := x[i]
@@ -196,10 +209,10 @@ func (m *CMatrix) MulVecH(x []complex128) []complex128 {
 			continue
 		}
 		for j, v := range row {
-			y[j] += cmplx.Conj(v) * xi
+			dst[j] += cmplx.Conj(v) * xi
 		}
 	}
-	return y
+	return dst
 }
 
 // FrobNorm returns the Frobenius norm.

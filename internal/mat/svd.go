@@ -1,10 +1,6 @@
 package mat
 
-import (
-	"math"
-	"math/cmplx"
-	"sort"
-)
+import "math"
 
 // CSVD holds a (thin) singular value decomposition A = U·diag(S)·Vᴴ of an
 // m×n complex matrix with m ≥ n: U is m×n with orthonormal columns, V is
@@ -16,121 +12,16 @@ type CSVD struct {
 }
 
 // CSVDecompose computes the thin SVD of a complex matrix using one-sided
-// Jacobi rotations. One-sided Jacobi is chosen for its simplicity and high
-// relative accuracy; the matrices in this codebase are small (port counts up
-// to ~100), so its O(n³) sweeps are not a bottleneck. For m < n the
-// decomposition is computed on the conjugate transpose and swapped back.
+// Jacobi rotations on packed column-major panels (see jacobiSweepsPacked).
+// One-sided Jacobi is chosen for its simplicity and high relative accuracy;
+// the matrices in this codebase are small (port counts up to ~100). For
+// m < n the decomposition is computed on the conjugate transpose and
+// swapped back. Allocation-sensitive callers should hold a CSVDWorkspace
+// and use CSVDecomposeInto directly.
 func CSVDecompose(a *CMatrix) *CSVD {
-	if a.Rows < a.Cols {
-		s := CSVDecompose(a.H())
-		return &CSVD{U: s.V, S: s.S, V: s.U}
-	}
-	m, n := a.Rows, a.Cols
-	w := a.Clone()    // working copy; columns converge to U·diag(S)
-	v := CIdentity(n) // accumulates right-hand rotations
-
-	const tol = 1e-14
-	maxSweeps := 60
-	for sweep := 0; sweep < maxSweeps; sweep++ {
-		off := 0
-		for p := 0; p < n-1; p++ {
-			for q := p + 1; q < n; q++ {
-				// Gram entries of columns p,q.
-				var app, aqq float64
-				var apq complex128
-				for i := 0; i < m; i++ {
-					cp := w.At(i, p)
-					cq := w.At(i, q)
-					app += real(cp)*real(cp) + imag(cp)*imag(cp)
-					aqq += real(cq)*real(cq) + imag(cq)*imag(cq)
-					apq += cmplx.Conj(cp) * cq
-				}
-				mag := cmplx.Abs(apq)
-				if mag <= tol*math.Sqrt(app*aqq) || mag == 0 {
-					continue
-				}
-				off++
-				// Phase so the effective off-diagonal entry is real:
-				// with alpha = apq/|apq|, the pair (col_p, col_q·conj(alpha))
-				// has real positive inner product |apq|.
-				alpha := apq / complex(mag, 0)
-				// Real Jacobi rotation diagonalizing [[app,mag],[mag,aqq]].
-				tau := (aqq - app) / (2 * mag)
-				var t float64
-				if tau >= 0 {
-					t = 1 / (tau + math.Sqrt(1+tau*tau))
-				} else {
-					t = -1 / (-tau + math.Sqrt(1+tau*tau))
-				}
-				cs := 1 / math.Sqrt(1+t*t)
-				sn := cs * t
-				// Column update:
-				//   new_p = cs·p − sn·conj(alpha)·q
-				//   new_q = sn·alpha·p + cs·q
-				ca := complex(sn, 0) * cmplx.Conj(alpha)
-				cb := complex(sn, 0) * alpha
-				ccs := complex(cs, 0)
-				for i := 0; i < m; i++ {
-					cp := w.At(i, p)
-					cq := w.At(i, q)
-					w.Set(i, p, ccs*cp-ca*cq)
-					w.Set(i, q, cb*cp+ccs*cq)
-				}
-				for i := 0; i < n; i++ {
-					vp := v.At(i, p)
-					vq := v.At(i, q)
-					v.Set(i, p, ccs*vp-ca*vq)
-					v.Set(i, q, cb*vp+ccs*vq)
-				}
-			}
-		}
-		if off == 0 {
-			break
-		}
-	}
-
-	// Extract singular values and left vectors.
-	s := make([]float64, n)
-	u := NewCMatrix(m, n)
-	for j := 0; j < n; j++ {
-		norm := 0.0
-		for i := 0; i < m; i++ {
-			c := w.At(i, j)
-			norm += real(c)*real(c) + imag(c)*imag(c)
-		}
-		norm = math.Sqrt(norm)
-		s[j] = norm
-		if norm > 0 {
-			inv := complex(1/norm, 0)
-			for i := 0; i < m; i++ {
-				u.Set(i, j, w.At(i, j)*inv)
-			}
-		} else {
-			// Zero singular value: leave the U column zero; callers that
-			// need a full basis can re-orthogonalize.
-			u.Set(j%m, j, 1)
-		}
-	}
-
-	// Sort descending by singular value.
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.Slice(idx, func(a, b int) bool { return s[idx[a]] > s[idx[b]] })
-	ss := make([]float64, n)
-	us := NewCMatrix(m, n)
-	vs := NewCMatrix(n, n)
-	for newj, oldj := range idx {
-		ss[newj] = s[oldj]
-		for i := 0; i < m; i++ {
-			us.Set(i, newj, u.At(i, oldj))
-		}
-		for i := 0; i < n; i++ {
-			vs.Set(i, newj, v.At(i, oldj))
-		}
-	}
-	return &CSVD{U: us, S: ss, V: vs}
+	// The workspace is discarded, so the returned matrices are exclusively
+	// owned by the caller.
+	return CSVDecomposeInto(&CSVDWorkspace{}, a)
 }
 
 // SingularValues returns just the singular values of a complex matrix in
@@ -201,68 +92,7 @@ func MaxSingularValuePower(a *CMatrix, v0 []complex128, tol float64, maxIter int
 // near-degenerate singular clusters that PDN scattering matrices exhibit
 // at the passivity boundary) but no vectors.
 func SingularValuesOnly(a *CMatrix) []float64 {
-	w := a
-	if a.Rows < a.Cols {
-		w = a.H()
-	} else {
-		w = a.Clone()
-	}
-	m, n := w.Rows, w.Cols
-	const tol = 1e-14
-	for sweep := 0; sweep < 60; sweep++ {
-		off := 0
-		for p := 0; p < n-1; p++ {
-			for q := p + 1; q < n; q++ {
-				var app, aqq float64
-				var apq complex128
-				for i := 0; i < m; i++ {
-					cp := w.At(i, p)
-					cq := w.At(i, q)
-					app += real(cp)*real(cp) + imag(cp)*imag(cp)
-					aqq += real(cq)*real(cq) + imag(cq)*imag(cq)
-					apq += cmplx.Conj(cp) * cq
-				}
-				mag := cmplx.Abs(apq)
-				if mag <= tol*math.Sqrt(app*aqq) || mag == 0 {
-					continue
-				}
-				off++
-				alpha := apq / complex(mag, 0)
-				tau := (aqq - app) / (2 * mag)
-				var t float64
-				if tau >= 0 {
-					t = 1 / (tau + math.Sqrt(1+tau*tau))
-				} else {
-					t = -1 / (-tau + math.Sqrt(1+tau*tau))
-				}
-				cs := 1 / math.Sqrt(1+t*t)
-				sn := cs * t
-				ca := complex(sn, 0) * cmplx.Conj(alpha)
-				cb := complex(sn, 0) * alpha
-				ccs := complex(cs, 0)
-				for i := 0; i < m; i++ {
-					cp := w.At(i, p)
-					cq := w.At(i, q)
-					w.Set(i, p, ccs*cp-ca*cq)
-					w.Set(i, q, cb*cp+ccs*cq)
-				}
-			}
-		}
-		if off == 0 {
-			break
-		}
-	}
-	s := make([]float64, n)
-	for j := 0; j < n; j++ {
-		norm := 0.0
-		for i := 0; i < m; i++ {
-			c := w.At(i, j)
-			norm += real(c)*real(c) + imag(c)*imag(c)
-		}
-		s[j] = math.Sqrt(norm)
-	}
-	sort.Sort(sort.Reverse(sort.Float64Slice(s)))
-	return s
+	return SingularValuesInto(&CSVDWorkspace{}, a, nil)
 }
 
 // MaxSingularValueSubspace estimates the largest singular value of a by

@@ -50,6 +50,45 @@ func For(workers, n int, fn func(i int)) {
 	wg.Wait()
 }
 
+// ForWorker is For with a stable worker identity: fn(w, i) runs index i on
+// worker w ∈ [0, workers), letting callers hand each goroutine its own
+// reusable workspace. Like For, every index writes only its own output, so
+// results stay bitwise independent of the worker count — the workspaces
+// must only carry scratch state, never values that feed other indices.
+func ForWorker(workers, n int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				fn(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
 // ForErr is For with error collection: it returns the error of the lowest
 // index whose fn failed (or nil). All indices are attempted regardless.
 func ForErr(workers, n int, fn func(i int) error) error {

@@ -51,6 +51,45 @@ func TestForDeterministicResult(t *testing.T) {
 	}
 }
 
+func TestForWorkerVisitsEachIndexOnceWithValidWorker(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 2, 7, 64} {
+		n := 1000
+		counts := make([]int64, n)
+		bound := workers
+		if bound <= 0 {
+			bound = n // GOMAXPROCS-resolved; any id below n is structurally valid
+		}
+		ForWorker(workers, n, func(w, i int) {
+			if w < 0 || w >= bound {
+				t.Errorf("workers=%d: worker id %d out of range", workers, w)
+			}
+			atomic.AddInt64(&counts[i], 1)
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForWorkerIsolatesWorkerState(t *testing.T) {
+	// Each worker accumulates into its own slot without synchronization —
+	// the contract that per-worker workspaces rely on. The per-worker sums
+	// must add up to the total exactly.
+	workers := 8
+	n := 5000
+	sums := make([]int64, workers)
+	ForWorker(workers, n, func(w, i int) { sums[w] += int64(i) })
+	var total int64
+	for _, s := range sums {
+		total += s
+	}
+	if want := int64(n) * int64(n-1) / 2; total != want {
+		t.Fatalf("per-worker partial sums total %d, want %d", total, want)
+	}
+}
+
 func TestForErrReturnsLowestIndexError(t *testing.T) {
 	e7 := errors.New("seven")
 	e3 := errors.New("three")

@@ -2,6 +2,7 @@ package passivity
 
 import (
 	"math"
+	"sort"
 
 	"repro/internal/mat"
 	"repro/internal/rational"
@@ -31,7 +32,10 @@ type poleFeature struct {
 	peakGain float64
 }
 
-func poleFeatures(model *rational.Model) []poleFeature {
+// poleFeatures builds the per-pole features, sorted ascending by resonance
+// frequency so the split criteria can binary-search the neighbourhood of an
+// interval instead of scanning every pole.
+func poleFeatures(model *rational.Model, ws *checkWorkspace) []poleFeature {
 	feats := make([]poleFeature, 0, len(model.Poles))
 	for k, p := range model.Poles {
 		gamma := math.Abs(real(p))
@@ -40,7 +44,11 @@ func poleFeatures(model *rational.Model) []poleFeature {
 			// and bound arithmetic stays well defined.
 			gamma = 1e-12 * (1 + math.Abs(imag(p)))
 		}
-		rn := mat.MaxSingularValue(model.Residues[k])
+		ws.sv = mat.SingularValuesInto(&ws.svd, model.Residues[k], ws.sv)
+		rn := 0.0
+		if len(ws.sv) > 0 {
+			rn = ws.sv[0]
+		}
 		feats = append(feats, poleFeature{
 			wr:       math.Abs(imag(p)),
 			gamma:    gamma,
@@ -48,19 +56,44 @@ func poleFeatures(model *rational.Model) []poleFeature {
 			peakGain: rn / gamma,
 		})
 	}
+	sort.Slice(feats, func(a, b int) bool { return feats[a].wr < feats[b].wr })
 	return feats
 }
 
 // adaptiveState carries the refinement grid and the per-model quantities
 // the split criteria need.
+// Tail-bound certification states, cached per interval (the bound depends
+// only on the interval endpoints, so its verdict never changes once
+// computed; sub-intervals of a certified interval are certified too, but
+// those are never created because certified intervals never split).
+const (
+	certUnknown int8 = iota
+	certPassive
+	certOpen
+)
+
 type adaptiveState struct {
 	model  *rational.Model
-	feats  []poleFeature
+	feats  []poleFeature // sorted ascending by wr
+	wrs    []float64     // feats[i].wr, for binary search
 	dSigma float64
 	limit  float64
 	relTol float64
 	grid   []float64
+	lg     []float64 // log(grid), -Inf at DC; memoized for the curvature math
 	sv     []float64
+	cert   []int8 // cert[i] covers interval [grid[i], grid[i+1]]
+}
+
+// setGrid installs a fresh sorted grid with its σ samples, resetting the
+// per-interval caches.
+func (a *adaptiveState) setGrid(grid, sv []float64) {
+	a.grid, a.sv = grid, sv
+	a.lg = make([]float64, len(grid))
+	for i, w := range grid {
+		a.lg[i] = math.Log(w)
+	}
+	a.cert = make([]int8, maxInt(len(grid)-1, 0))
 }
 
 // tailBound is a rigorous interval bound: for every ω in [w0, w1]
@@ -73,14 +106,18 @@ type adaptiveState struct {
 // it exceeds the limit — callers only use the comparison.
 func (a *adaptiveState) tailBound(w0, w1 float64) float64 {
 	sum := a.dSigma
-	for _, f := range a.feats {
+	for i := range a.feats {
+		f := &a.feats[i]
 		d := 0.0
 		if f.wr < w0 {
 			d = w0 - f.wr
 		} else if f.wr > w1 {
 			d = f.wr - w1
 		}
-		sum += f.rnorm / math.Hypot(f.gamma, d)
+		// sqrt(γ²+d²) instead of Hypot: the bound only feeds a comparison
+		// against the limit, both arguments are frequencies far from the
+		// float range edges, and Hypot's extra care costs ~4× here.
+		sum += f.rnorm / math.Sqrt(f.gamma*f.gamma+d*d)
 		if sum > a.limit {
 			break
 		}
@@ -95,12 +132,27 @@ func (a *adaptiveState) tailBound(w0, w1 float64) float64 {
 // refinement how finely σ must be sampled here before its local behaviour
 // can be trusted; the hidden gain tells it whether an unresolved resonance
 // could push σ above the limit between the current samples.
+//
+// Only features with γ + dist < 2·width can influence the caller's split
+// decision (the scale is compared against 2·width and the hidden gain
+// requires γ + dist ≤ width), and those all have resonances within 2·width
+// of the interval. The scan therefore binary-searches the sorted features
+// for the window [w0 − 2.5·width, w1 + 2.5·width] (the 0.5 margin absorbs
+// rounding at the window edges) instead of visiting all n poles — on a
+// refined grid of g intervals this turns each stage from O(g·n) into
+// O(g·log n) plus the few poles actually nearby.
 func (a *adaptiveState) localScale(w0, w1, width float64) (scale, hiddenGain float64) {
 	scale = w1
 	if scale <= 0 {
 		scale = 1
 	}
-	for _, f := range a.feats {
+	lo := w0 - 2.5*width
+	hi := w1 + 2.5*width
+	for i := sort.SearchFloat64s(a.wrs, lo); i < len(a.feats); i++ {
+		f := &a.feats[i]
+		if f.wr > hi {
+			break
+		}
 		d := 0.0
 		if f.wr < w0 {
 			d = w0 - f.wr
@@ -121,12 +173,11 @@ func (a *adaptiveState) localScale(w0, w1, width float64) (scale, hiddenGain flo
 // secondDiff estimates σ” over the node triple (i0, i1, i2) by divided
 // differences in log-ω (linear ω when the triple starts at DC).
 func (a *adaptiveState) secondDiff(i0, i1, i2 int) float64 {
-	w0, w1, w2 := a.grid[i0], a.grid[i1], a.grid[i2]
 	var x0, x1, x2 float64
-	if w0 > 0 {
-		x0, x1, x2 = math.Log(w0), math.Log(w1), math.Log(w2)
+	if a.grid[i0] > 0 {
+		x0, x1, x2 = a.lg[i0], a.lg[i1], a.lg[i2]
 	} else {
-		x0, x1, x2 = w0, w1, w2
+		x0, x1, x2 = a.grid[i0], a.grid[i1], a.grid[i2]
 	}
 	d10 := (a.sv[i1] - a.sv[i0]) / (x1 - x0)
 	d21 := (a.sv[i2] - a.sv[i1]) / (x2 - x1)
@@ -149,7 +200,7 @@ func (a *adaptiveState) localMaxEstimate(i int) float64 {
 	}
 	var h float64
 	if w0 > 0 {
-		h = math.Log(w1) - math.Log(w0)
+		h = a.lg[i+1] - a.lg[i]
 	} else {
 		h = w1 - w0
 	}
@@ -174,8 +225,15 @@ func (a *adaptiveState) needSplit(i int) bool {
 	if width <= 1e-12*w1 {
 		return false
 	}
-	if a.tailBound(w0, w1) <= a.limit {
+	switch a.cert[i] {
+	case certPassive:
 		return false
+	case certUnknown:
+		if a.tailBound(w0, w1) <= a.limit {
+			a.cert[i] = certPassive
+			return false
+		}
+		a.cert[i] = certOpen
 	}
 	scale, hiddenGain := a.localScale(w0, w1, width)
 	if width > 0.5*scale && math.Max(s0, s1)+hiddenGain > a.limit {
@@ -211,23 +269,44 @@ func midpointOmega(w0, w1 float64) float64 {
 	return math.Sqrt(w0 * w1)
 }
 
-// merge inserts the freshly evaluated midpoints into the sorted grid.
+// merge inserts the freshly evaluated midpoints into the sorted grid,
+// carrying the log coordinates and the per-interval certification cache:
+// an interval that survives unsplit keeps its tail-bound verdict, while
+// the sub-intervals created around a midpoint start unknown.
 func (a *adaptiveState) merge(ws, svs []float64) {
-	grid := make([]float64, 0, len(a.grid)+len(ws))
-	sv := make([]float64, 0, len(a.grid)+len(ws))
+	n := len(a.grid) + len(ws)
+	grid := make([]float64, 0, n)
+	lg := make([]float64, 0, n)
+	sv := make([]float64, 0, n)
+	cert := make([]int8, 0, n)
 	i, j := 0, 0
+	prevOld := -2 // old index of the previously appended point; -2 = midpoint
 	for i < len(a.grid) || j < len(ws) {
 		if j >= len(ws) || (i < len(a.grid) && a.grid[i] <= ws[j]) {
+			if len(grid) > 0 {
+				if prevOld == i-1 {
+					cert = append(cert, a.cert[i-1])
+				} else {
+					cert = append(cert, certUnknown)
+				}
+			}
 			grid = append(grid, a.grid[i])
+			lg = append(lg, a.lg[i])
 			sv = append(sv, a.sv[i])
+			prevOld = i
 			i++
 		} else {
+			if len(grid) > 0 {
+				cert = append(cert, certUnknown)
+			}
 			grid = append(grid, ws[j])
+			lg = append(lg, math.Log(ws[j]))
 			sv = append(sv, svs[j])
+			prevOld = -2
 			j++
 		}
 	}
-	a.grid, a.sv = grid, sv
+	a.grid, a.lg, a.sv, a.cert = grid, lg, sv, cert
 }
 
 // dedupeSorted drops near-identical frequencies so the divided differences
@@ -246,10 +325,14 @@ func checkAdaptive(model *rational.Model, opts CheckOptions) (*Report, error) {
 	rep := &Report{Method: "adaptive", Passive: true}
 	st := &adaptiveState{
 		model:  model,
-		feats:  poleFeatures(model),
+		feats:  poleFeatures(model, opts.work.get(0)),
 		dSigma: mat.MaxSingularValue(mat.RealToComplex(model.D)),
 		limit:  1 + opts.Tol,
 		relTol: opts.AdaptiveRelTol,
+	}
+	st.wrs = make([]float64, len(st.feats))
+	for i, f := range st.feats {
+		st.wrs[i] = f.wr
 	}
 
 	// Stage 0: coarse log seed grid with every pole resonance and its
@@ -265,8 +348,7 @@ func checkAdaptive(model *rational.Model, opts CheckOptions) (*Report, error) {
 	}
 	sortFloats(grid)
 	grid = dedupeSorted(grid)
-	st.grid = grid
-	st.sv = sigmaBatch(model, grid, opts.Workers, opts.Cache)
+	st.setGrid(grid, sigmaBatch(model, grid, opts.Workers, opts.Cache, opts.work))
 
 	budget := opts.AdaptiveMaxSamples
 	for stage := 0; stage < opts.AdaptiveMaxStages && budget > 0; stage++ {
@@ -283,7 +365,7 @@ func checkAdaptive(model *rational.Model, opts CheckOptions) (*Report, error) {
 			mids = mids[:budget]
 		}
 		budget -= len(mids)
-		msv := sigmaBatch(model, mids, opts.Workers, opts.Cache)
+		msv := sigmaBatch(model, mids, opts.Workers, opts.Cache, opts.work)
 		st.merge(mids, msv)
 	}
 

@@ -1,0 +1,116 @@
+package passivity
+
+import (
+	"runtime"
+
+	"repro/internal/parallel"
+	"repro/internal/rational"
+)
+
+// BatchOptions configures EnforceBatch.
+type BatchOptions struct {
+	// Enforce is the base enforcement configuration applied to every model.
+	// Its Cache and workspace fields are ignored: each model receives a
+	// private EvalCache (caches memoize a single pole set) and each worker
+	// a persistent workspace pool.
+	Enforce EnforceOptions
+	// Workers bounds the model-level shards (0 = GOMAXPROCS, 1 = serial).
+	// Results are bitwise independent of the value: each model is enforced
+	// by exactly one worker with the same per-model state it would see in a
+	// sequential run.
+	Workers int
+	// PerModel, when non-nil, derives the enforcement options of model i
+	// from the base options (e.g. a per-model cost Gramian for the
+	// sensitivity-weighted scheme). It runs on the worker goroutine that
+	// owns model i and must not share mutable state across calls.
+	PerModel func(i int, m *rational.Model, base EnforceOptions) (EnforceOptions, error)
+}
+
+// ModelResult is the per-model outcome of a batch run.
+type ModelResult struct {
+	Report *EnforceReport // nil when Err is non-nil and no report was built
+	Err    error
+}
+
+// BatchStats aggregates a batch run.
+type BatchStats struct {
+	Models          int
+	Passive         int     // models passive after enforcement
+	Failed          int     // models whose enforcement returned an error
+	TotalIterations int     // enforcement sweeps summed over all models
+	TotalSamples    int     // σ grid evaluations of the final checks
+	WorstSigma      float64 // largest final σ_max across models
+}
+
+// BatchReport is the outcome of EnforceBatch, index-aligned with the input
+// models.
+type BatchReport struct {
+	Results []ModelResult
+	Stats   BatchStats
+}
+
+// EnforceBatch enforces passivity on a library of models in place,
+// sharding the models across up to Workers goroutines. Each worker carries
+// a persistent workspace pool (buffers warm up once and are reused across
+// all models the worker processes) and each model a private EvalCache, so
+// steady-state enforcement performs no per-frequency allocations. Every
+// model is attempted regardless of other models' failures; per-model
+// errors land in the result slots. The per-model reports and the final
+// residues are bitwise identical to running sequential Enforce on each
+// model with the same base options.
+//
+// Inside a sharded run the per-check worker fan-out is forced serial
+// (Check results are worker-count independent, so this changes nothing but
+// the scheduling): model-level parallelism already saturates the cores,
+// and nested fan-outs would only thrash them.
+func EnforceBatch(models []*rational.Model, opts BatchOptions) *BatchReport {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rep := &BatchReport{Results: make([]ModelResult, len(models))}
+	pools := make([]*workspacePool, workers)
+	for i := range pools {
+		pools[i] = newWorkspacePool()
+	}
+	parallel.ForWorker(workers, len(models), func(wk, i int) {
+		eopts := opts.Enforce
+		if opts.PerModel != nil {
+			var err error
+			eopts, err = opts.PerModel(i, models[i], eopts)
+			if err != nil {
+				rep.Results[i] = ModelResult{Err: err}
+				return
+			}
+		}
+		eopts.Check.Cache = NewEvalCache()
+		eopts.Check.work = pools[wk]
+		if workers > 1 {
+			eopts.Check.Workers = 1
+		}
+		r, err := Enforce(models[i], eopts)
+		rep.Results[i] = ModelResult{Report: r, Err: err}
+	})
+
+	st := &rep.Stats
+	st.Models = len(models)
+	for _, r := range rep.Results {
+		if r.Err != nil {
+			st.Failed++
+		}
+		if r.Report == nil {
+			continue
+		}
+		st.TotalIterations += r.Report.Iterations
+		if r.Report.Passive {
+			st.Passive++
+		}
+		if f := r.Report.Final; f != nil {
+			st.TotalSamples += f.Samples
+			if f.MaxSigma > st.WorstSigma {
+				st.WorstSigma = f.MaxSigma
+			}
+		}
+	}
+	return rep
+}

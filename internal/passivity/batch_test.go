@@ -1,0 +1,137 @@
+package passivity
+
+import (
+	"testing"
+
+	"repro/internal/rational"
+)
+
+// batchLibrary builds a deterministic library of violating models.
+func batchLibrary(t *testing.T, n int) []*rational.Model {
+	t.Helper()
+	lib := make([]*rational.Model, n)
+	for i := range lib {
+		m, err := SyntheticModel(SyntheticOptions{
+			Ports: 2, Poles: 16 + 2*(i%3), Seed: int64(40 + i), PeakGain: 1.1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lib[i] = m
+	}
+	return lib
+}
+
+func modelsBitwiseEqual(a, b *rational.Model) bool {
+	if len(a.Poles) != len(b.Poles) {
+		return false
+	}
+	for i := range a.Poles {
+		if a.Poles[i] != b.Poles[i] {
+			return false
+		}
+	}
+	for k := range a.Residues {
+		if !a.Residues[k].Equalish(b.Residues[k], 0) {
+			return false
+		}
+	}
+	return a.D.Equalish(b.D, 0)
+}
+
+// TestEnforceBatchMatchesSequential: the batch path must be bitwise
+// identical to per-model sequential Enforce — same residues, same reports —
+// for any worker count.
+func TestEnforceBatchMatchesSequential(t *testing.T) {
+	const n = 6
+	base := EnforceOptions{Check: CheckOptions{Method: MethodAdaptive}}
+
+	seq := batchLibrary(t, n)
+	seqReports := make([]*EnforceReport, n)
+	for i, m := range seq {
+		rep, err := Enforce(m, base)
+		if err != nil {
+			t.Fatalf("sequential model %d: %v", i, err)
+		}
+		seqReports[i] = rep
+	}
+
+	for _, workers := range []int{1, 4} {
+		lib := batchLibrary(t, n)
+		rep := EnforceBatch(lib, BatchOptions{Enforce: base, Workers: workers})
+		if rep.Stats.Models != n || rep.Stats.Failed != 0 || rep.Stats.Passive != n {
+			t.Fatalf("workers=%d: bad stats %+v", workers, rep.Stats)
+		}
+		for i := range lib {
+			r := rep.Results[i]
+			if r.Err != nil {
+				t.Fatalf("workers=%d model %d: %v", workers, i, r.Err)
+			}
+			if !modelsBitwiseEqual(lib[i], seq[i]) {
+				t.Fatalf("workers=%d model %d: batch result differs bitwise from sequential", workers, i)
+			}
+			if r.Report.Iterations != seqReports[i].Iterations ||
+				r.Report.Final.MaxSigma != seqReports[i].Final.MaxSigma ||
+				r.Report.Final.MaxOmega != seqReports[i].Final.MaxOmega {
+				t.Fatalf("workers=%d model %d: report differs: %+v vs %+v",
+					workers, i, r.Report.Final, seqReports[i].Final)
+			}
+		}
+	}
+}
+
+// TestEnforceBatchIsolatesFailures: a model that cannot be enforced (σ(D)
+// above one without ClampD) must fail alone; the rest of the library is
+// still enforced.
+func TestEnforceBatchIsolatesFailures(t *testing.T) {
+	lib := batchLibrary(t, 4)
+	bad, err := rational.NewScalar([]complex128{-1}, []complex128{0.1}, 1.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib[2] = bad
+	rep := EnforceBatch(lib, BatchOptions{
+		Enforce: EnforceOptions{Check: CheckOptions{Method: MethodAdaptive}},
+		Workers: 2,
+	})
+	if rep.Stats.Failed != 1 || rep.Results[2].Err == nil {
+		t.Fatalf("expected exactly the bad model to fail: %+v", rep.Stats)
+	}
+	for i, r := range rep.Results {
+		if i == 2 {
+			continue
+		}
+		if r.Err != nil || !r.Report.Passive {
+			t.Fatalf("model %d should have been enforced: err=%v", i, r.Err)
+		}
+	}
+	if rep.Stats.Passive != 3 || rep.Stats.Models != 4 {
+		t.Fatalf("bad aggregates: %+v", rep.Stats)
+	}
+}
+
+// TestEnforceBatchPerModelHook: the hook can supply per-model options (an
+// identity cost here) and its errors land in the model's result slot.
+func TestEnforceBatchPerModelHook(t *testing.T) {
+	lib := batchLibrary(t, 3)
+	hookErr := make([]bool, len(lib))
+	rep := EnforceBatch(lib, BatchOptions{
+		Enforce: EnforceOptions{Check: CheckOptions{Method: MethodAdaptive}},
+		Workers: 2,
+		PerModel: func(i int, m *rational.Model, base EnforceOptions) (EnforceOptions, error) {
+			if i == 1 {
+				hookErr[i] = true
+				return base, ErrEnforceFailed
+			}
+			return base, nil
+		},
+	})
+	if rep.Results[1].Err == nil || !hookErr[1] {
+		t.Fatalf("hook error not propagated: %+v", rep.Results[1])
+	}
+	for _, i := range []int{0, 2} {
+		if rep.Results[i].Err != nil || !rep.Results[i].Report.Passive {
+			t.Fatalf("model %d: %+v", i, rep.Results[i])
+		}
+	}
+}

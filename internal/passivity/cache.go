@@ -1,10 +1,28 @@
 package passivity
 
 import (
-	"repro/internal/mat"
+	"runtime"
+
 	"repro/internal/parallel"
 	"repro/internal/rational"
 )
+
+// DefaultEvalCacheEntries is the default bound on the number of cached
+// pole-basis vectors. It exceeds the worst single-run footprint — the
+// adaptive refinement budget (AdaptiveMaxSamples, default 20000) plus seed
+// grid and golden-section probes — so one enforcement run never evicts its
+// own warm entries, while a long-running service that sweeps many pole
+// sets stays bounded: at the cap, a 250-pole model holds ~128 MB of basis
+// vectors.
+const DefaultEvalCacheEntries = 32768
+
+// basisEntry is one node of the basis LRU: the cached k̃(ω) plus its
+// recency links.
+type basisEntry struct {
+	omega      float64
+	k          []complex128
+	prev, next *basisEntry
+}
 
 // EvalCache memoizes per-frequency transfer evaluations across repeated
 // passivity checks of the SAME pole set. Two layers with different
@@ -15,6 +33,10 @@ import (
 //   - σ_max values additionally depend on the residues and must be dropped
 //     whenever the model is perturbed (InvalidateSigma).
 //
+// The basis layer is LRU-bounded (MaxEntries); evicting a basis vector
+// drops its σ entry with it, so the two layers never disagree about which
+// frequencies are resident.
+//
 // The cache also carries the violation-band frequencies found by the
 // previous check (HotFrequencies) into the next check's seed grid, so that
 // enforcement iterations re-localize their shrinking bands in a single
@@ -24,20 +46,29 @@ import (
 // batches each refinement stage: cache lookups and stores happen on the
 // calling goroutine, only the cache misses fan out through parallel.For,
 // each miss writing its own slot. Results are therefore independent of the
-// worker count.
+// worker count, and of the LRU bound (an eviction can only force a
+// recomputation, never change a value).
 type EvalCache struct {
-	basis map[float64][]complex128
-	sigma map[float64]float64
-	hot   []float64
+	basis      map[float64]*basisEntry
+	sigma      map[float64]float64
+	hot        []float64
+	head, tail *basisEntry // recency list: head = most recent
+
+	// MaxEntries bounds the basis layer (≤ 0 selects
+	// DefaultEvalCacheEntries). Lower it for services that keep many caches
+	// alive at once.
+	MaxEntries int
 
 	// Counters for benchmarks and experiment reports.
 	SigmaHits, SigmaMisses int
+	// Evictions counts basis entries dropped by the LRU bound.
+	Evictions int
 }
 
-// NewEvalCache returns an empty cache.
+// NewEvalCache returns an empty cache with the default LRU bound.
 func NewEvalCache() *EvalCache {
 	return &EvalCache{
-		basis: make(map[float64][]complex128),
+		basis: make(map[float64]*basisEntry),
 		sigma: make(map[float64]float64),
 	}
 }
@@ -48,7 +79,9 @@ func (c *EvalCache) InvalidateSigma() {
 	if c == nil {
 		return
 	}
-	c.sigma = make(map[float64]float64)
+	// clear keeps the map's buckets: the next sweep re-stores σ at the same
+	// frequencies without re-growing the table from scratch.
+	clear(c.sigma)
 }
 
 // SetHot records seed frequencies for the next check; NaN/±Inf and
@@ -63,32 +96,123 @@ func (c *EvalCache) SetHot(ws []float64) {
 // Hot returns the warm-start frequencies recorded by the previous check.
 func (c *EvalCache) Hot() []float64 { return c.hot }
 
-// sigmaFromBasis evaluates σ_max of S(jω) from a precomputed basis vector.
-func sigmaFromBasis(model *rational.Model, k []complex128) float64 {
-	s := model.EvalWithBasis(k)
-	sv := mat.SingularValuesOnly(s)
-	if len(sv) == 0 {
-		return 0
+// BasisEntries returns the number of resident basis vectors.
+func (c *EvalCache) BasisEntries() int { return len(c.basis) }
+
+func (c *EvalCache) cap() int {
+	if c.MaxEntries > 0 {
+		return c.MaxEntries
 	}
-	return sv[0]
+	return DefaultEvalCacheEntries
+}
+
+// touch moves e to the recency head.
+func (c *EvalCache) touch(e *basisEntry) {
+	if c.head == e {
+		return
+	}
+	// Unlink.
+	if e.prev != nil {
+		e.prev.next = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	}
+	if c.tail == e {
+		c.tail = e.prev
+	}
+	// Push front.
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+// basisFor returns the cached basis vector for ω (marking it recently
+// used), or nil.
+func (c *EvalCache) basisFor(w float64) []complex128 {
+	e, ok := c.basis[w]
+	if !ok {
+		return nil
+	}
+	c.touch(e)
+	return e.k
+}
+
+// storeBasis inserts (or refreshes) the basis vector for ω and applies the
+// LRU bound, evicting the coldest entries together with their σ values.
+func (c *EvalCache) storeBasis(w float64, k []complex128) {
+	if e, ok := c.basis[w]; ok {
+		e.k = k
+		c.touch(e)
+		return
+	}
+	e := &basisEntry{omega: w, k: k}
+	c.basis[w] = e
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+	for limit := c.cap(); len(c.basis) > limit && c.tail != nil; {
+		cold := c.tail
+		c.tail = cold.prev
+		if c.tail != nil {
+			c.tail.next = nil
+		} else {
+			c.head = nil
+		}
+		delete(c.basis, cold.omega)
+		delete(c.sigma, cold.omega)
+		c.Evictions++
+	}
+}
+
+// sigmaFor returns the cached σ_max for ω when resident. A σ hit also
+// refreshes the recency of ω's basis entry: frequencies that keep hitting
+// in the σ layer are exactly the ones whose bases must survive the LRU
+// bound.
+func (c *EvalCache) sigmaFor(w float64) (float64, bool) {
+	s, ok := c.sigma[w]
+	if ok {
+		if e, found := c.basis[w]; found {
+			c.touch(e)
+		}
+	}
+	return s, ok
 }
 
 // sigmaBatch evaluates σ_max at every frequency of ws, filling cache hits
-// serially and fanning the misses out over up to workers goroutines. The
-// result slice is index-aligned with ws and bitwise independent of the
-// worker count.
-func sigmaBatch(model *rational.Model, ws []float64, workers int, c *EvalCache) []float64 {
+// serially and fanning the misses out over up to workers goroutines, each
+// with its own workspace from pool. The result slice is index-aligned with
+// ws and bitwise independent of the worker count.
+func sigmaBatch(model *rational.Model, ws []float64, workers int, c *EvalCache, pool *workspacePool) []float64 {
 	out := make([]float64, len(ws))
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if pool == nil {
+		pool = newWorkspacePool()
+	}
 	if c == nil {
-		parallel.For(workers, len(ws), func(i int) {
-			out[i], _ = sigmaMax(model, ws[i], nil)
+		pool.ensure(workers)
+		parallel.ForWorker(workers, len(ws), func(wk, i int) {
+			out[i] = pool.get(wk).sigmaAt(model, ws[i])
 		})
 		return out
 	}
 	// Serial pass over the cache; collect misses.
 	miss := make([]int, 0, len(ws))
 	for i, w := range ws {
-		if s, ok := c.sigma[w]; ok {
+		if s, ok := c.sigmaFor(w); ok {
 			out[i] = s
 			c.SigmaHits++
 		} else {
@@ -103,19 +227,47 @@ func sigmaBatch(model *rational.Model, ws []float64, workers int, c *EvalCache) 
 	// and its (freshly allocated or previously cached) basis vector.
 	bases := make([][]complex128, len(miss))
 	for bi, i := range miss {
-		bases[bi] = c.basis[ws[i]] // nil when absent; filled in the loop
+		bases[bi] = c.basisFor(ws[i]) // nil when absent; filled in the loop
 	}
-	parallel.For(workers, len(miss), func(bi int) {
+	pool.ensure(workers)
+	parallel.ForWorker(workers, len(miss), func(wk, bi int) {
 		i := miss[bi]
 		if bases[bi] == nil {
 			bases[bi] = model.EvalBasis(ws[i])
 		}
-		out[i] = sigmaFromBasis(model, bases[bi])
+		out[i] = pool.get(wk).sigma(model, bases[bi])
 	})
 	// Serial store.
 	for bi, i := range miss {
-		c.basis[ws[i]] = bases[bi]
+		c.storeBasis(ws[i], bases[bi])
 		c.sigma[ws[i]] = out[i]
 	}
 	return out
+}
+
+// cachedSigma evaluates σ_max at one frequency through the cache (both
+// layers), falling back to a direct workspace evaluation without one. This
+// is the kernel behind the golden-section peak refinement, whose off-grid
+// frequencies historically bypassed the cache and were re-evaluated every
+// enforcement sweep.
+func cachedSigma(model *rational.Model, w float64, c *EvalCache, ws *checkWorkspace) float64 {
+	if ws == nil {
+		ws = &checkWorkspace{}
+	}
+	if c == nil {
+		return ws.sigmaAt(model, w)
+	}
+	if s, ok := c.sigmaFor(w); ok {
+		c.SigmaHits++
+		return s
+	}
+	c.SigmaMisses++
+	k := c.basisFor(w)
+	if k == nil {
+		k = model.EvalBasis(w)
+		c.storeBasis(w, k)
+	}
+	s := ws.sigma(model, k)
+	c.sigma[w] = s
+	return s
 }

@@ -79,6 +79,11 @@ type CheckOptions struct {
 	// checks of the same pole set (see EvalCache). Enforce installs one
 	// automatically. Not safe for concurrent checks.
 	Cache *EvalCache
+	// work holds the per-worker evaluation workspaces. Check installs a
+	// fresh pool when nil; Enforce and EnforceBatch install persistent
+	// pools so buffers survive across sweeps (and, per worker, across
+	// models).
+	work *workspacePool
 }
 
 // Violation is one frequency band where a singular value exceeds one.
@@ -124,6 +129,9 @@ func (o *CheckOptions) defaults(model *rational.Model) {
 	}
 	if o.Tol <= 0 {
 		o.Tol = 1e-9
+	}
+	if o.work == nil {
+		o.work = newWorkspacePool()
 	}
 	if o.OmegaMin <= 0 || o.OmegaMax <= 0 {
 		lo, hi := math.Inf(1), 0.0
@@ -186,15 +194,13 @@ func Check(model *rational.Model, opts CheckOptions) (*Report, error) {
 // one-sided Jacobi. Iterative estimators (power/subspace iteration) are
 // NOT safe here: PDN scattering matrices carry large clusters of singular
 // values within 1e-4 of each other right at the passivity boundary, where
-// any underestimate flips the verdict. The warm parameter is retained for
-// call-site compatibility and passed through untouched.
-func sigmaMax(model *rational.Model, omega float64, warm [][]complex128) (float64, [][]complex128) {
-	s := model.Eval(omega)
-	sv := mat.SingularValuesOnly(s)
-	if len(sv) == 0 {
-		return 0, warm
+// any underestimate flips the verdict. ws provides the reusable buffers
+// (nil allocates a transient workspace).
+func sigmaMax(model *rational.Model, omega float64, ws *checkWorkspace) float64 {
+	if ws == nil {
+		ws = &checkWorkspace{}
 	}
-	return sv[0], warm
+	return ws.sigmaAt(model, omega)
 }
 
 func checkHamiltonian(model *rational.Model, opts CheckOptions) (*Report, error) {
@@ -206,17 +212,16 @@ func checkHamiltonian(model *rational.Model, opts CheckOptions) (*Report, error)
 	// Candidate intervals between crossings (plus leading/trailing).
 	edges := append([]float64{0}, crossings...)
 	edges = append(edges, math.Inf(1))
-	var warm [][]complex128
+	ws := opts.work.get(0)
 	for i := 0; i+1 < len(edges); i++ {
 		lo, hi := edges[i], edges[i+1]
 		test := testPoint(lo, hi)
-		var sv float64
-		sv, warm = sigmaMax(model, test, warm)
+		sv := cachedSigma(model, test, opts.Cache, ws)
 		if sv > rep.MaxSigma {
 			rep.MaxSigma, rep.MaxOmega = sv, test
 		}
 		if sv > 1+opts.Tol {
-			peakW, peakS := refinePeak(model, lo, hi, test)
+			peakW, peakS := refinePeak(model, lo, hi, test, opts.Cache, ws)
 			if peakS > rep.MaxSigma {
 				rep.MaxSigma, rep.MaxOmega = peakS, peakW
 			}
@@ -244,8 +249,11 @@ func testPoint(lo, hi float64) float64 {
 }
 
 // refinePeak locates the maximum of σ_max(jω) within a violation band by
-// golden-section search on a bounded bracket.
-func refinePeak(model *rational.Model, lo, hi, seed float64) (float64, float64) {
+// golden-section search on a bounded bracket. Evaluations route through
+// the shared EvalCache (when present): the basis vectors at the probed
+// frequencies survive residue perturbations, so enforcement sweeps that
+// re-polish the same shrinking band stop paying the full evaluation.
+func refinePeak(model *rational.Model, lo, hi, seed float64, c *EvalCache, ws *checkWorkspace) (float64, float64) {
 	a, b := lo, hi
 	if a == 0 {
 		a = seed / 100
@@ -256,11 +264,8 @@ func refinePeak(model *rational.Model, lo, hi, seed float64) (float64, float64) 
 	// Golden-section on log-ω for scale invariance.
 	la, lb := math.Log(a), math.Log(b)
 	const phi = 0.6180339887498949
-	var warm [][]complex128
 	f := func(lw float64) float64 {
-		sv, w := sigmaMax(model, math.Exp(lw), warm)
-		warm = w
-		return sv
+		return cachedSigma(model, math.Exp(lw), c, ws)
 	}
 	x1 := lb - phi*(lb-la)
 	x2 := la + phi*(lb-la)
@@ -277,8 +282,7 @@ func refinePeak(model *rational.Model, lo, hi, seed float64) (float64, float64) 
 		}
 	}
 	lw := (la + lb) / 2
-	sv, _ := sigmaMax(model, math.Exp(lw), nil)
-	return math.Exp(lw), sv
+	return math.Exp(lw), f(lw)
 }
 
 // poleSeededGrid builds the sample grid shared by checkSweep and the
@@ -317,7 +321,7 @@ func checkSweep(model *rational.Model, opts CheckOptions) (*Report, error) {
 	rep := &Report{Method: "sweep", Passive: true}
 	grid := poleSeededGrid(model, opts.SweepPoints, opts.OmegaMin, opts.OmegaMax)
 	sortFloats(grid)
-	sv := sigmaBatch(model, grid, opts.Workers, opts.Cache)
+	sv := sigmaBatch(model, grid, opts.Workers, opts.Cache, opts.work)
 	rep.Samples = len(grid)
 	assembleReport(model, grid, sv, opts, rep)
 	return rep, nil
@@ -330,6 +334,7 @@ func checkSweep(model *rational.Model, opts CheckOptions) (*Report, error) {
 // interpolated edges. grid must be sorted ascending; sv is index-aligned
 // and is sharpened in place.
 func assembleReport(model *rational.Model, grid, sv []float64, opts CheckOptions, rep *Report) {
+	ws := opts.work.get(0)
 	for i, w := range grid {
 		if sv[i] > rep.MaxSigma {
 			rep.MaxSigma, rep.MaxOmega = sv[i], w
@@ -345,7 +350,7 @@ func assembleReport(model *rational.Model, grid, sv []float64, opts CheckOptions
 		if lo <= 0 {
 			lo = grid[i] / 10
 		}
-		pw, ps := refinePeak(model, lo, grid[i+1], grid[i])
+		pw, ps := refinePeak(model, lo, grid[i+1], grid[i], opts.Cache, ws)
 		if ps > sv[i] {
 			// Record the sharpened value so the violation scan sees it.
 			sv[i] = ps
@@ -388,7 +393,7 @@ func assembleReport(model *rational.Model, grid, sv []float64, opts CheckOptions
 		if bl <= 0 {
 			bl = grid[1] / 10
 		}
-		peakW, peakS := refinePeak(model, bl, bh, grid[peakIdx])
+		peakW, peakS := refinePeak(model, bl, bh, grid[peakIdx], opts.Cache, ws)
 		if peakS < sv[peakIdx] {
 			peakW, peakS = grid[peakIdx], sv[peakIdx]
 		}

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
+	"sort"
 
 	"repro/internal/mat"
+	"repro/internal/parallel"
 	"repro/internal/qp"
 	"repro/internal/rational"
 )
@@ -68,9 +70,8 @@ type constraint struct {
 	omega float64
 	sigma float64
 	u, v  []complex128 // singular vectors
-	ktil  []complex128 // basis vector k̃(ω)
-	rk    []float64    // Re k̃
-	ik    []float64    // Im k̃
+	rk    []float64    // Re k̃(ω)
+	ik    []float64    // Im k̃(ω)
 	wr    []float64    // G⁻¹·Re k̃
 	wi    []float64    // G⁻¹·Im k̃
 }
@@ -123,6 +124,12 @@ func Enforce(model *rational.Model, opts EnforceOptions) (*EnforceReport, error)
 		// from the previous sweep's violation bands.
 		opts.Check.Cache = NewEvalCache()
 	}
+	if opts.Check.work == nil {
+		// One persistent workspace pool for the whole run: after the first
+		// sweep warms the buffers, per-frequency evaluations are
+		// allocation-free.
+		opts.Check.work = newWorkspacePool()
+	}
 
 	for iter := 0; iter < opts.MaxIterations; iter++ {
 		chk, err := Check(model, opts.Check)
@@ -170,27 +177,44 @@ func Enforce(model *rational.Model, opts EnforceOptions) (*EnforceReport, error)
 
 // StandardGramian returns the controllability Gramian P₁ of the common-pole
 // basis (A₁, b₁): the standard L2 perturbation cost of eq. (10) decomposes
-// as tr(δC·P·δCᵀ) = Σ_ij δc_ij·P₁·δc_ijᵀ because A = I_P ⊗ A₁.
+// as tr(δC·P·δCᵀ) = Σ_ij δc_ij·P₁·δc_ijᵀ because A = I_P ⊗ A₁. The
+// Gramian is assembled in closed form per pole-pair block
+// (rational.BasisGramian), not by the dense O(n³) Lyapunov solve — at a
+// thousand poles the dense solve used to dominate the entire enforcement
+// run.
 func StandardGramian(model *rational.Model) (*mat.Matrix, error) {
-	a1, b1 := model.BasisRealization()
-	n := len(b1)
-	b := mat.NewMatrix(n, 1)
-	for i, v := range b1 {
-		b.Set(i, 0, v)
-	}
-	return mat.ControllabilityGramian(a1, b)
+	return rational.BasisGramian(model.Poles)
 }
 
 // buildConstraints collects linearized singular-value constraints at the
 // violation peaks (plus interior points of wide bands), including
-// preventive constraints on singular values within the guard band.
+// preventive constraints on singular values within the guard band. The
+// transfer evaluation and SVD run through the shared cache and workspace;
+// the per-constraint slices are freshly allocated because they outlive the
+// call (constraints are few — one per near-limit singular value per
+// constrained frequency).
 func buildConstraints(model *rational.Model, chk *Report, opts EnforceOptions, chol *mat.Cholesky) ([]constraint, error) {
 	freqs := constraintFrequencies(chk, opts)
+	cache := opts.Check.Cache
+	pool := opts.Check.work
+	if pool == nil {
+		pool = newWorkspacePool()
+	}
+	ws := pool.get(0)
 	var cons []constraint
 	for _, w := range freqs {
-		s := model.Eval(w)
-		svd := mat.CSVDecompose(s)
-		ktil := model.EvalBasis(w)
+		var ktil []complex128
+		if cache != nil {
+			ktil = cache.basisFor(w)
+		}
+		if ktil == nil {
+			ktil = model.EvalBasis(w)
+			if cache != nil {
+				cache.storeBasis(w, ktil)
+			}
+		}
+		ws.h = model.EvalWithBasisInto(ws.h, ktil)
+		svd := mat.CSVDecomposeInto(&ws.svd, ws.h)
 		n := len(ktil)
 		for i, sigma := range svd.S {
 			if sigma <= 1-opts.GuardBand {
@@ -201,16 +225,17 @@ func buildConstraints(model *rational.Model, chk *Report, opts EnforceOptions, c
 				sigma: sigma,
 				u:     svd.U.Col(i),
 				v:     svd.V.Col(i),
-				ktil:  ktil,
 				rk:    make([]float64, n),
 				ik:    make([]float64, n),
+				wr:    make([]float64, n),
+				wi:    make([]float64, n),
 			}
 			for k, z := range ktil {
 				c.rk[k] = real(z)
 				c.ik[k] = imag(z)
 			}
-			c.wr = chol.SolveVec(c.rk)
-			c.wi = chol.SolveVec(c.ik)
+			chol.SolveVecInto(c.wr, c.rk)
+			chol.SolveVecInto(c.wi, c.ik)
 			cons = append(cons, c)
 		}
 	}
@@ -262,7 +287,7 @@ func constraintFrequencies(chk *Report, opts EnforceOptions) []float64 {
 func solvePerturbation(model *rational.Model, cons []constraint, opts EnforceOptions) (float64, error) {
 	m := len(cons)
 	p := model.Ports()
-	dual := assembleDual(cons)
+	dual := assembleDual(cons, opts.Check.Workers)
 	g := make([]float64, m)
 	for a := range cons {
 		g[a] = (1 - opts.Margin) - cons[a].sigma
@@ -303,32 +328,42 @@ func solvePerturbation(model *rational.Model, cons []constraint, opts EnforceOpt
 
 // assembleDual builds the dual QP matrix M_ab = Σ_ij f_a,ijᵀ·G⁻¹·f_b,ij
 // using the closed-form α-product sums documented on solvePerturbation.
-func assembleDual(cons []constraint) *mat.Matrix {
+// The m(m+1)/2 upper-triangle entries are independent — each needs only
+// the two constraints it couples, and the inner Dot products are O(n) in
+// the pole count — so they fan out over parallel.For; every pair writes
+// its own (a,b)/(b,a) slots, keeping the result worker-count independent.
+func assembleDual(cons []constraint, workers int) *mat.Matrix {
 	m := len(cons)
 	dual := mat.NewMatrix(m, m)
+	// offs[a] is the linear index of pair (a,a); row a covers
+	// [offs[a], offs[a+1]).
+	offs := make([]int, m+1)
 	for a := 0; a < m; a++ {
-		for b := a; b < m; b++ {
-			ca, cb := &cons[a], &cons[b]
-			k00 := mat.Dot(ca.rk, cb.wr)
-			k01 := mat.Dot(ca.rk, cb.wi)
-			k10 := mat.Dot(ca.ik, cb.wr)
-			k11 := mat.Dot(ca.ik, cb.wi)
-			beta1 := mat.CDot(ca.u, cb.u) * cmplx.Conj(mat.CDot(ca.v, cb.v))
-			var ru, rv complex128
-			for i := range ca.u {
-				ru += ca.u[i] * cb.u[i]
-				rv += ca.v[i] * cb.v[i]
-			}
-			beta2 := cmplx.Conj(ru) * rv
-			srr := 0.5 * real(beta1+beta2)
-			sii := 0.5 * real(beta1-beta2)
-			sri := 0.5 * imag(beta2-beta1)
-			sir := 0.5 * imag(beta2+beta1)
-			v := srr*k00 - sri*k01 - sir*k10 + sii*k11
-			dual.Set(a, b, v)
-			dual.Set(b, a, v)
-		}
+		offs[a+1] = offs[a] + (m - a)
 	}
+	parallel.For(workers, offs[m], func(t int) {
+		a := sort.SearchInts(offs, t+1) - 1
+		b := a + (t - offs[a])
+		ca, cb := &cons[a], &cons[b]
+		k00 := mat.Dot(ca.rk, cb.wr)
+		k01 := mat.Dot(ca.rk, cb.wi)
+		k10 := mat.Dot(ca.ik, cb.wr)
+		k11 := mat.Dot(ca.ik, cb.wi)
+		beta1 := mat.CDot(ca.u, cb.u) * cmplx.Conj(mat.CDot(ca.v, cb.v))
+		var ru, rv complex128
+		for i := range ca.u {
+			ru += ca.u[i] * cb.u[i]
+			rv += ca.v[i] * cb.v[i]
+		}
+		beta2 := cmplx.Conj(ru) * rv
+		srr := 0.5 * real(beta1+beta2)
+		sii := 0.5 * real(beta1-beta2)
+		sri := 0.5 * imag(beta2-beta1)
+		sir := 0.5 * imag(beta2+beta1)
+		v := srr*k00 - sri*k01 - sir*k10 + sii*k11
+		dual.Set(a, b, v)
+		dual.Set(b, a, v)
+	})
 	return dual
 }
 

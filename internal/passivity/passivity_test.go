@@ -192,7 +192,7 @@ func TestAssembleDualMatchesDense(t *testing.T) {
 	if len(cons) == 0 {
 		t.Fatalf("no constraints built")
 	}
-	structured := assembleDual(cons)
+	structured := assembleDual(cons, 0)
 
 	// Dense: F has one row per constraint, P²·n columns.
 	p := m.Ports()

@@ -1,0 +1,60 @@
+package passivity
+
+import (
+	"repro/internal/mat"
+	"repro/internal/rational"
+)
+
+// checkWorkspace bundles the reusable buffers one worker needs to evaluate
+// σ_max(S(jω)): the P×P transfer buffer, the Jacobi SVD workspace, the
+// singular-value slice and a basis scratch. After the first evaluation at a
+// given model size every σ evaluation through the workspace is
+// allocation-free. A workspace is not safe for concurrent use — the
+// workspacePool hands a private one to each parallel.ForWorker goroutine.
+type checkWorkspace struct {
+	svd   mat.CSVDWorkspace
+	h     *mat.CMatrix
+	sv    []float64
+	basis []complex128
+}
+
+// sigma evaluates σ_max of S(jω) from a precomputed basis vector, exactly
+// (one-sided Jacobi; see the caveat on sigmaMax), reusing the workspace
+// buffers.
+func (ws *checkWorkspace) sigma(model *rational.Model, k []complex128) float64 {
+	ws.h = model.EvalWithBasisInto(ws.h, k)
+	ws.sv = mat.SingularValuesInto(&ws.svd, ws.h, ws.sv)
+	if len(ws.sv) == 0 {
+		return 0
+	}
+	return ws.sv[0]
+}
+
+// sigmaAt evaluates σ_max of S(jω), building the basis vector into the
+// workspace scratch.
+func (ws *checkWorkspace) sigmaAt(model *rational.Model, omega float64) float64 {
+	ws.basis = model.EvalBasisInto(ws.basis, omega)
+	return ws.sigma(model, ws.basis)
+}
+
+// workspacePool is a grow-only set of per-worker workspaces. ensure must be
+// called before a parallel fan-out so that the workers index a fixed slice;
+// growth never happens concurrently.
+type workspacePool struct {
+	ws []*checkWorkspace
+}
+
+func newWorkspacePool() *workspacePool { return &workspacePool{} }
+
+// ensure grows the pool to at least k workspaces (serial phase only).
+func (p *workspacePool) ensure(k int) {
+	for len(p.ws) < k {
+		p.ws = append(p.ws, &checkWorkspace{})
+	}
+}
+
+// get returns workspace i, growing the pool as needed (serial phase only).
+func (p *workspacePool) get(i int) *checkWorkspace {
+	p.ensure(i + 1)
+	return p.ws[i]
+}

@@ -1,0 +1,140 @@
+package rational
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// ErrUnstablePoles is returned by BasisGramian for a pole set that is not
+// strictly stable (the Gramian integral diverges).
+var ErrUnstablePoles = errors.New("rational: basis Gramian needs strictly stable poles")
+
+// BasisGramian returns the controllability Gramian P₁ of the single-input
+// basis realization (A₁, b₁) = BasisFromPoles(poles) in closed form. A₁ is
+// block diagonal (1×1 blocks for real poles, 2×2 blocks for conjugate
+// pairs), so the Lyapunov equation A₁P + PA₁ᵀ = −b₁b₁ᵀ decouples into one
+// tiny Sylvester system per block pair,
+//
+//	A_a·X + X·A_bᵀ = −b_a·b_bᵀ,   X = P[block a, block b],
+//
+// each at most 2×2 and solved directly by a ≤4×4 Gaussian elimination on
+// its vectorization. The assembly is O(n²) with no Schur step — the dense
+// quasi-triangular solve behind mat.ControllabilityGramian is O(n³) and
+// dominates the whole enforcement run for pole counts in the hundreds.
+func BasisGramian(poles []complex128) (*mat.Matrix, error) {
+	for _, p := range poles {
+		if real(p) >= 0 {
+			return nil, ErrUnstablePoles
+		}
+	}
+	n := len(poles)
+	g := mat.NewMatrix(n, n)
+
+	// Block boundaries: each entry is the starting slot of a block.
+	type block struct {
+		k, size int
+	}
+	blocks := make([]block, 0, n)
+	for k := 0; k < n; {
+		if imag(poles[k]) == 0 {
+			blocks = append(blocks, block{k, 1})
+			k++
+		} else {
+			blocks = append(blocks, block{k, 2})
+			k += 2
+		}
+	}
+
+	// Per-block realization pieces, matching BasisFromPoles.
+	var aBlk [2][2]float64
+	var bBlk [2]float64
+	load := func(b block) ([2][2]float64, [2]float64) {
+		p := poles[b.k]
+		if b.size == 1 {
+			aBlk = [2][2]float64{{real(p), 0}, {0, 0}}
+			bBlk = [2]float64{1, 0}
+		} else {
+			al, be := real(p), imag(p)
+			aBlk = [2][2]float64{{al, be}, {-be, al}}
+			bBlk = [2]float64{2, 0}
+		}
+		return aBlk, bBlk
+	}
+
+	for ai, ba := range blocks {
+		aa, bva := load(ba)
+		for bi := ai; bi < len(blocks); bi++ {
+			bb := blocks[bi]
+			ab, bvb := load(bb)
+			ra, rb := ba.size, bb.size
+			// Sylvester system on vec(X), columns stacked:
+			// (I_rb ⊗ A_a + A_b ⊗ I_ra)·vec(X) = −vec(b_a·b_bᵀ).
+			dim := ra * rb
+			var m [4][5]float64 // augmented [M | rhs]
+			for c := 0; c < rb; c++ {
+				for r := 0; r < ra; r++ {
+					row := c*ra + r
+					for cc := 0; cc < rb; cc++ {
+						for rr := 0; rr < ra; rr++ {
+							col := cc*ra + rr
+							v := 0.0
+							if c == cc {
+								v += aa[r][rr]
+							}
+							if r == rr {
+								v += ab[c][cc]
+							}
+							m[row][col] = v
+						}
+					}
+					m[row][dim] = -bva[r] * bvb[c]
+				}
+			}
+			if err := solveSmall(&m, dim); err != nil {
+				return nil, err
+			}
+			// Scatter X into the Gramian; X_ba = X_abᵀ by symmetry of P.
+			for c := 0; c < rb; c++ {
+				for r := 0; r < ra; r++ {
+					x := m[c*ra+r][dim]
+					g.Set(ba.k+r, bb.k+c, x)
+					g.Set(bb.k+c, ba.k+r, x)
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// solveSmall runs Gaussian elimination with partial pivoting on the
+// augmented system m[:dim][:dim+1], leaving the solution in column dim.
+func solveSmall(m *[4][5]float64, dim int) error {
+	for col := 0; col < dim; col++ {
+		piv := col
+		for r := col + 1; r < dim; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[piv][col]) {
+				piv = r
+			}
+		}
+		if m[piv][col] == 0 {
+			return ErrUnstablePoles
+		}
+		m[col], m[piv] = m[piv], m[col]
+		inv := 1 / m[col][col]
+		for r := 0; r < dim; r++ {
+			if r == col || m[r][col] == 0 {
+				continue
+			}
+			f := m[r][col] * inv
+			for c := col; c <= dim; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	for r := 0; r < dim; r++ {
+		m[r][dim] /= m[r][r]
+	}
+	return nil
+}

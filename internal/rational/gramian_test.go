@@ -1,0 +1,128 @@
+package rational
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func randomStablePoles(rng *rand.Rand, n int) []complex128 {
+	poles := make([]complex128, 0, n)
+	for len(poles) < n {
+		if n-len(poles) == 1 || rng.Float64() < 0.3 {
+			poles = append(poles, complex(-0.1-3*rng.Float64(), 0))
+			continue
+		}
+		wr := math.Pow(10, 4*rng.Float64())
+		gamma := wr * (0.01 + 0.2*rng.Float64())
+		poles = append(poles, complex(-gamma, wr), complex(-gamma, -wr))
+	}
+	return poles
+}
+
+// TestBasisGramianMatchesLyapunov: the closed-form block assembly must
+// agree with the dense Schur-based Lyapunov solve on random stable pole
+// sets mixing real poles and conjugate pairs.
+func TestBasisGramianMatchesLyapunov(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		poles := randomStablePoles(rng, 2+rng.Intn(14))
+		got, err := BasisGramian(poles)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a1, b1 := BasisFromPoles(poles)
+		b := mat.NewMatrix(len(b1), 1)
+		for i, v := range b1 {
+			b.Set(i, 0, v)
+		}
+		want, err := mat.ControllabilityGramian(a1, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equalish(want, 1e-8*(1+want.MaxAbs())) {
+			t.Fatalf("trial %d (poles %v):\nclosed form:\n%v\nLyapunov:\n%v",
+				trial, poles, got, want)
+		}
+	}
+}
+
+// TestBasisGramianRejectsUnstable: the closed form must refuse poles on or
+// right of the imaginary axis, like the Lyapunov path does.
+func TestBasisGramianRejectsUnstable(t *testing.T) {
+	if _, err := BasisGramian([]complex128{complex(0.1, 0)}); err == nil {
+		t.Fatal("unstable pole accepted")
+	}
+	if _, err := BasisGramian([]complex128{complex(0, 5), complex(0, -5)}); err == nil {
+		t.Fatal("marginally stable pair accepted")
+	}
+}
+
+// TestEvalWithBasisIntoMatchesEval: the pole-major Into path must agree
+// with Eval to rounding, reuse its buffer allocation-free, and the basis
+// Into variant must be exact.
+func TestEvalWithBasisIntoMatchesEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	poles := randomStablePoles(rng, 8)
+	p := 3
+	res := make([]*mat.CMatrix, len(poles))
+	for k := 0; k < len(poles); {
+		r := mat.NewCMatrix(p, p)
+		for i := range r.Data {
+			r.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		if imag(poles[k]) == 0 {
+			for i := range r.Data {
+				r.Data[i] = complex(real(r.Data[i]), 0)
+			}
+			res[k] = r
+			k++
+			continue
+		}
+		res[k] = r
+		conj := r.Clone()
+		for i := range conj.Data {
+			conj.Data[i] = complex(real(conj.Data[i]), -imag(conj.Data[i]))
+		}
+		res[k+1] = conj
+		k += 2
+	}
+	d := mat.NewMatrix(p, p)
+	for i := range d.Data {
+		d.Data[i] = rng.NormFloat64()
+	}
+	m, err := New(poles, res, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var basis []complex128
+	h := mat.NewCMatrix(p, p)
+	for _, omega := range []float64{0, 0.3, 5, 77, 1e3} {
+		want := m.Eval(omega)
+		basis = m.EvalBasisInto(basis, omega)
+		ref := m.EvalBasis(omega)
+		for i := range ref {
+			if basis[i] != ref[i] {
+				t.Fatalf("ω=%v: EvalBasisInto[%d] = %v, want %v", omega, i, basis[i], ref[i])
+			}
+		}
+		h = m.EvalWithBasisInto(h, basis)
+		if !h.Equalish(want, 1e-12*(1+want.MaxAbs())) {
+			t.Fatalf("ω=%v: EvalWithBasisInto differs from Eval", omega)
+		}
+	}
+
+	// Zero steady-state allocations for the warmed Into pair.
+	omega := 42.0
+	basis = m.EvalBasisInto(basis, omega)
+	h = m.EvalWithBasisInto(h, basis)
+	if n := testing.AllocsPerRun(50, func() {
+		basis = m.EvalBasisInto(basis, omega)
+		h = m.EvalWithBasisInto(h, basis)
+	}); n != 0 {
+		t.Fatalf("EvalBasisInto+EvalWithBasisInto allocate %v times per frequency after warm-up", n)
+	}
+}

@@ -110,8 +110,21 @@ func (m *Model) IsStable(tol float64) bool {
 // hold 1/(jω−p); a conjugate pair occupies two slots holding
 // 2(jω−α)/Δ and −2β/Δ with p = α+jβ, Δ = (jω−α)²+β².
 func (m *Model) EvalBasis(omega float64) []complex128 {
+	return m.EvalBasisInto(nil, omega)
+}
+
+// EvalBasisInto is EvalBasis writing into the caller-owned buffer dst
+// (grown when its capacity is insufficient, so a warmed buffer makes the
+// call allocation-free). It returns the filled slice of length NumPoles.
+func (m *Model) EvalBasisInto(dst []complex128, omega float64) []complex128 {
 	s := complex(0, omega)
-	k := make([]complex128, len(m.Poles))
+	n := len(m.Poles)
+	var k []complex128
+	if cap(dst) >= n {
+		k = dst[:n]
+	} else {
+		k = make([]complex128, n)
+	}
 	for i := 0; i < len(m.Poles); {
 		p := m.Poles[i]
 		if imag(p) == 0 {
@@ -186,28 +199,56 @@ func (m *Model) Eval(omega float64) *mat.CMatrix {
 // the passivity enforcement loop, which never moves poles — can cache the
 // basis once per frequency and skip its recomputation.
 func (m *Model) EvalWithBasis(k []complex128) *mat.CMatrix {
+	return m.EvalWithBasisInto(nil, k)
+}
+
+// EvalWithBasisInto is EvalWithBasis writing into the caller-owned P×P
+// buffer dst (reallocated only when too small; a warmed buffer makes the
+// call allocation-free). The accumulation runs pole-major: each residue
+// matrix is streamed through exactly once, contiguously, instead of being
+// revisited entry-by-entry — the entry-major order touches every residue
+// P² times and dominates the sweep profile at large pole counts.
+func (m *Model) EvalWithBasisInto(dst *mat.CMatrix, k []complex128) *mat.CMatrix {
 	if len(k) != len(m.Poles) {
 		panic("rational: EvalWithBasis length mismatch")
 	}
 	p := m.Ports()
-	h := mat.NewCMatrix(p, p)
-	for i := 0; i < p; i++ {
-		for j := 0; j < p; j++ {
-			var sum complex128
-			for n := 0; n < len(m.Poles); {
-				r := m.Residues[n].At(i, j)
-				if imag(m.Poles[n]) == 0 {
-					sum += complex(real(r), 0) * k[n]
-					n++
-					continue
-				}
-				sum += complex(real(r), 0)*k[n] + complex(imag(r), 0)*k[n+1]
-				n += 2
-			}
-			h.Set(i, j, sum+complex(m.D.At(i, j), 0))
-		}
+	if dst == nil || cap(dst.Data) < p*p {
+		dst = mat.NewCMatrix(p, p)
+	} else {
+		dst.Rows, dst.Cols = p, p
+		dst.Data = dst.Data[:p*p]
 	}
-	return h
+	hd := dst.Data
+	for e, d := range m.D.Data {
+		hd[e] = complex(d, 0)
+	}
+	// The scalar factors are real (Re R, Im R), so the complex products
+	// expand to plain multiply-adds — half the multiplies of a full
+	// complex·complex product, and bitwise identical to it (the imaginary
+	// part of the scalar is exactly zero).
+	for n := 0; n < len(m.Poles); {
+		rd := m.Residues[n].Data
+		if imag(m.Poles[n]) == 0 {
+			knr, kni := real(k[n]), imag(k[n])
+			for e, r := range rd {
+				rr := real(r)
+				h := hd[e]
+				hd[e] = complex(real(h)+rr*knr, imag(h)+rr*kni)
+			}
+			n++
+			continue
+		}
+		knr, kni := real(k[n]), imag(k[n])
+		k1r, k1i := real(k[n+1]), imag(k[n+1])
+		for e, r := range rd {
+			rr, ri := real(r), imag(r)
+			h := hd[e]
+			hd[e] = complex(real(h)+(rr*knr+ri*k1r), imag(h)+(rr*kni+ri*k1i))
+		}
+		n += 2
+	}
+	return dst
 }
 
 // EvalEntry returns H_ij(jω).

@@ -244,6 +244,92 @@ func EnforcePassivityByScaling(m *Macromodel, opts EnforceOptions) (*ScalingEnfo
 	}, nil
 }
 
+// BatchEnforceOptions configures EnforcePassivityBatch.
+type BatchEnforceOptions struct {
+	// Enforce is the per-model enforcement configuration. With Weight set,
+	// every model gets the sensitivity-weighted cost built from its own
+	// cascade Gramian; otherwise the standard L2 cost.
+	Enforce EnforceOptions
+	// Workers bounds the model-level parallelism (0 = GOMAXPROCS). The
+	// per-model results are bitwise independent of the value.
+	Workers int
+}
+
+// BatchEnforceReport aggregates a batch enforcement run. Reports and
+// Errors are index-aligned with the input models.
+type BatchEnforceReport struct {
+	Reports []*EnforceReport // nil for models whose enforcement errored
+	Errors  []error
+	Models  int
+	Passive int
+	Failed  int
+	// TotalIterations sums the enforcement sweeps over all models.
+	TotalIterations int
+	// WorstSigma is the largest final σ_max across the library.
+	WorstSigma float64
+}
+
+// EnforcePassivityBatch enforces passivity on a library of macromodels in
+// place, sharding models across workers with per-worker reusable
+// workspaces and per-model evaluation caches. Every model is attempted;
+// per-model failures are reported in Errors without aborting the batch.
+// The per-model outcomes are bitwise identical to calling EnforcePassivity
+// on each model sequentially with the same options.
+func EnforcePassivityBatch(models []*Macromodel, opts BatchEnforceOptions) (*BatchEnforceReport, error) {
+	raw := make([]*rational.Model, len(models))
+	for i, m := range models {
+		raw[i] = m.model
+	}
+	bopts := passivity.BatchOptions{
+		Enforce: passivity.EnforceOptions{
+			Check:         opts.Enforce.Check.internal(),
+			MaxIterations: opts.Enforce.MaxIterations,
+			Margin:        opts.Enforce.Margin,
+			ClampD:        opts.Enforce.ClampD,
+		},
+		Workers: opts.Workers,
+	}
+	if w := opts.Enforce.Weight; w != nil {
+		bopts.PerModel = func(i int, m *rational.Model, base passivity.EnforceOptions) (passivity.EnforceOptions, error) {
+			gram, err := core.WeightedGramian(m, w.model)
+			if err != nil {
+				return base, err
+			}
+			base.CostGramian = gram
+			return base, nil
+		}
+	}
+	brep := passivity.EnforceBatch(raw, bopts)
+	out := &BatchEnforceReport{
+		Reports:         make([]*EnforceReport, len(models)),
+		Errors:          make([]error, len(models)),
+		Models:          brep.Stats.Models,
+		Passive:         brep.Stats.Passive,
+		Failed:          brep.Stats.Failed,
+		TotalIterations: brep.Stats.TotalIterations,
+		WorstSigma:      brep.Stats.WorstSigma,
+	}
+	for i, r := range brep.Results {
+		out.Errors[i] = r.Err
+		if r.Report == nil {
+			continue
+		}
+		rep := &EnforceReport{
+			Passive:    r.Report.Passive,
+			Iterations: r.Report.Iterations,
+			DClamped:   r.Report.DClamped,
+		}
+		if r.Report.Final != nil {
+			rep.Final = toPublicReport(r.Report.Final)
+		}
+		for _, h := range r.Report.History {
+			rep.MaxSigmaHistory = append(rep.MaxSigmaHistory, h.MaxSigma)
+		}
+		out.Reports[i] = rep
+	}
+	return out, nil
+}
+
 // EnforcePassivity removes passivity violations in place by iterative
 // residue perturbation (paper eqs. 8–10). With opts.Weight set it runs the
 // paper's sensitivity-weighted scheme; otherwise the standard L2 scheme.
