@@ -1,12 +1,14 @@
 // Command experiments regenerates the paper's evaluation figures (§IV,
 // Figs. 1–6) on the synthetic 45-port PDN testcase, plus the extension
-// experiments Ext-A..Ext-D (representation independence, transient
-// verification, MOR baseline, enforcement ablation), printing the shape
-// metrics recorded in EXPERIMENTS.md and writing one CSV per figure.
+// experiments Ext-A..Ext-G (representation independence, transient
+// verification, MOR baseline, enforcement ablation, adaptive
+// characterization, batch enforcement, closed-form weighted Gramian),
+// printing the shape metrics recorded in EXPERIMENTS.md and writing one
+// CSV per figure.
 //
 // Usage:
 //
-//	experiments [-fig all|figs|ext|1|..|6|A|..|D] [-out dir] [-points N] [-poles N] [-quick]
+//	experiments [-fig all|figs|ext|1|..|6|A|..|G] [-out dir] [-points N] [-poles N] [-quick]
 package main
 
 import (
@@ -43,10 +45,10 @@ func main() {
 		"1": ctx.Fig1, "2": ctx.Fig2, "3": ctx.Fig3,
 		"4": ctx.Fig4, "5": ctx.Fig5, "6": ctx.Fig6,
 		"A": ctx.ExtA, "B": ctx.ExtB, "C": ctx.ExtC, "D": ctx.ExtD, "E": ctx.ExtE,
-		"F": ctx.ExtF,
+		"F": ctx.ExtF, "G": ctx.ExtG,
 	}
 	figOrder := []string{"1", "2", "3", "4", "5", "6"}
-	extOrder := []string{"A", "B", "C", "D", "E", "F"}
+	extOrder := []string{"A", "B", "C", "D", "E", "F", "G"}
 
 	var keys []string
 	switch strings.ToLower(*fig) {
@@ -59,7 +61,7 @@ func main() {
 	default:
 		k := strings.ToUpper(*fig)
 		if _, ok := run[k]; !ok {
-			fmt.Fprintf(os.Stderr, "experiments: bad -fig %q (want all, figs, ext, 1..6 or A..D)\n", *fig)
+			fmt.Fprintf(os.Stderr, "experiments: bad -fig %q (want all, figs, ext, 1..6 or A..G)\n", *fig)
 			os.Exit(2)
 		}
 		keys = []string{k}

@@ -5,8 +5,8 @@
 // Usage:
 //
 //	passcheck [-ports N] [-fit n] [-enforce] [-save out.json] [-method m] input.s4p
-//	passcheck -model model.json [-enforce] [-save out.json] [-method m]
-//	passcheck -batch 'lib/*.json' [-enforce] [-workers N] [-save-dir out/]
+//	passcheck -model model.json [-enforce] [-weight w.json] [-save out.json] [-method m]
+//	passcheck -batch 'lib/*.json' [-enforce] [-weight w.json | -load spec] [-workers N] [-save-dir out/]
 //
 // -method selects the detection algorithm: auto (Hamiltonian for small
 // models, multi-stage adaptive sampling otherwise), hamiltonian, sweep, or
@@ -19,6 +19,17 @@
 // model failures are reported without aborting the batch; -save-dir writes
 // the final models under their original base names.
 //
+// Enforcement is sensitivity-weighted (the paper's scheme, built on the
+// closed-form cascade Gramian) when either weight source is given:
+//
+//   - -weight w.json loads one saved weight (Weight.SaveFile) shared by
+//     every model;
+//   - -load spec (batch mode) derives a per-model weight from each model's
+//     own response under a termination network. The spec is a comma-
+//     separated per-port list of open | short | r:R | decap:C:ESR:ESL |
+//     die:R:C | vrm:R:L (a single term applies to all ports); -obs picks
+//     the observation port and -weight-order the weight order n_w.
+//
 // Exit status: 0 when every final artifact is passive, 1 when not, 2 on
 // usage or I/O errors.
 package main
@@ -26,9 +37,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
+	"strconv"
+	"strings"
+	"sync"
 
 	repro "repro"
 )
@@ -50,6 +66,10 @@ func main() {
 	batch := flag.String("batch", "", "glob of saved macromodel JSON files to process as a library")
 	workers := flag.Int("workers", 0, "batch mode: model-level parallel shards (0 = GOMAXPROCS)")
 	saveDir := flag.String("save-dir", "", "batch mode: directory to save final models into")
+	weightPath := flag.String("weight", "", "saved sensitivity weight (JSON) for weighted enforcement")
+	loadSpec := flag.String("load", "", "batch mode: termination spec deriving per-model weights (see doc)")
+	weightOrder := flag.Int("weight-order", 8, "-load mode: weight order n_w")
+	obsPort := flag.Int("obs", 0, "-load mode: observation port of the target impedance")
 	flag.Parse()
 
 	var checkMethod repro.CheckMethod
@@ -66,13 +86,34 @@ func main() {
 		fail(2, "unknown -method %q (want auto, hamiltonian, sweep or adaptive)", *method)
 	}
 
+	var weight *repro.Weight
+	if *weightPath != "" {
+		if *loadSpec != "" {
+			fail(2, "-weight and -load are mutually exclusive weight sources")
+		}
+		if !*enforce {
+			fail(2, "-weight selects the weighted enforcement cost and needs -enforce")
+		}
+		var err error
+		if weight, err = repro.LoadWeightFile(*weightPath); err != nil {
+			fail(2, "loading weight: %v", err)
+		}
+	}
+
+	if *loadSpec != "" && !*enforce {
+		fail(2, "-load weights only matter with -enforce")
+	}
+
 	chkBase := repro.CheckOptions{Method: checkMethod, SweepPoints: *sweep, AdaptiveSeedPoints: *seedPoints}
 	if *batch != "" {
 		if flag.NArg() != 0 {
 			fail(2, "-batch takes no positional arguments (got %d)", flag.NArg())
 		}
-		runBatch(*batch, chkBase, *enforce, *workers, *saveDir)
+		runBatch(*batch, chkBase, *enforce, *workers, *saveDir, weight, *loadSpec, *weightOrder, *obsPort)
 		return
+	}
+	if *loadSpec != "" {
+		fail(2, "-load derives per-model weights and needs -batch mode")
 	}
 
 	var model *repro.Macromodel
@@ -125,11 +166,15 @@ func main() {
 	printReport(rep)
 
 	if !rep.Passive && *enforce {
-		enf, err := repro.EnforcePassivity(model, repro.EnforceOptions{Check: chkOpts, ClampD: true})
+		enf, err := repro.EnforcePassivity(model, repro.EnforceOptions{Check: chkOpts, ClampD: true, Weight: weight})
 		if err != nil {
 			fail(2, "enforce: %v", err)
 		}
-		fmt.Printf("enforced in %d iterations (D clamped: %v)\n", enf.Iterations, enf.DClamped)
+		cost := "standard L2"
+		if weight != nil {
+			cost = "sensitivity-weighted"
+		}
+		fmt.Printf("enforced in %d iterations (%s cost, D clamped: %v)\n", enf.Iterations, cost, enf.DClamped)
 		rep = enf.Final
 		printReport(rep)
 	}
@@ -145,9 +190,11 @@ func main() {
 }
 
 // runBatch processes a library of saved models: load every glob match,
-// check or enforce the whole set, print per-model lines plus aggregate
-// stats, and exit with the library verdict.
-func runBatch(glob string, chkOpts repro.CheckOptions, enforce bool, workers int, saveDir string) {
+// check or enforce the whole set (optionally with a shared -weight or
+// per-model -load derived sensitivity weights), print per-model lines plus
+// aggregate stats, and exit with the library verdict.
+func runBatch(glob string, chkOpts repro.CheckOptions, enforce bool, workers int, saveDir string,
+	weight *repro.Weight, loadSpec string, weightOrder, obsPort int) {
 	paths, err := filepath.Glob(glob)
 	if err != nil {
 		fail(2, "bad -batch pattern %q: %v", glob, err)
@@ -164,10 +211,50 @@ func runBatch(glob string, chkOpts repro.CheckOptions, enforce bool, workers int
 	}
 	fmt.Printf("batch: %d models\n", len(models))
 
+	var perModel []*repro.Weight
+	if loadSpec != "" {
+		// Shard the derivations like the enforcement itself: each weight
+		// fit (sample sweep + magnitude VF) is independent, and on a big
+		// library a serial pre-pass would idle the worker pool below.
+		perModel = make([]*repro.Weight, len(models))
+		errs := make([]error, len(models))
+		shards := workers
+		if shards <= 0 {
+			shards = runtime.GOMAXPROCS(0)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < shards; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(models); i += shards {
+					load, err := parseLoadSpec(loadSpec, models[i].Ports(), obsPort)
+					if err != nil {
+						errs[i] = err
+						continue
+					}
+					perModel[i], errs[i] = deriveModelWeight(models[i], load, weightOrder)
+				}
+			}(w)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				fail(2, "deriving weight for %s: %v", paths[i], err)
+			}
+		}
+		fmt.Printf("derived %d per-model sensitivity weights (order %d, load %q)\n",
+			len(perModel), weightOrder, loadSpec)
+	}
+
 	allPassive := true
 	if enforce {
+		if weight != nil {
+			fmt.Printf("weighted enforcement: shared weight, order %d\n", weight.Order())
+		}
 		rep, err := repro.EnforcePassivityBatch(models, repro.BatchEnforceOptions{
-			Enforce: repro.EnforceOptions{Check: chkOpts, ClampD: true},
+			Enforce: repro.EnforceOptions{Check: chkOpts, ClampD: true, Weight: weight},
+			Weights: perModel,
 			Workers: workers,
 		})
 		if err != nil {
@@ -219,6 +306,109 @@ func runBatch(glob string, chkOpts repro.CheckOptions, enforce bool, workers int
 	if !allPassive {
 		os.Exit(1)
 	}
+}
+
+// parseLoadSpec builds the termination network of a -load spec for a model
+// with the given port count: a comma-separated per-port list of
+// open | short | r:R | decap:C:ESR:ESL | die:R:C | vrm:R:L, a single term
+// replicating across all ports. The Norton excitation is a unit current at
+// the observation port (eq. 2's definition of the target impedance).
+func parseLoadSpec(spec string, ports, obsPort int) (*repro.Load, error) {
+	entries := strings.Split(spec, ",")
+	if len(entries) == 1 {
+		for len(entries) < ports {
+			entries = append(entries, entries[0])
+		}
+	}
+	if len(entries) != ports {
+		return nil, fmt.Errorf("-load lists %d terminations for a %d-port model", len(entries), ports)
+	}
+	if obsPort < 0 || obsPort >= ports {
+		return nil, fmt.Errorf("-obs %d out of range for a %d-port model", obsPort, ports)
+	}
+	terms := make([]repro.Termination, ports)
+	for i, e := range entries {
+		t, err := parseTermination(strings.TrimSpace(e))
+		if err != nil {
+			return nil, err
+		}
+		terms[i] = t
+	}
+	j := make([]complex128, ports)
+	j[obsPort] = 1
+	return &repro.Load{Terms: terms, J: j, ObsPort: obsPort}, nil
+}
+
+// parseTermination parses one port term of a -load spec.
+func parseTermination(e string) (repro.Termination, error) {
+	parts := strings.Split(e, ":")
+	vals := make([]float64, 0, 3)
+	for _, p := range parts[1:] {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q in term %q", p, e)
+		}
+		vals = append(vals, v)
+	}
+	want := func(n int) error {
+		if len(vals) != n {
+			return fmt.Errorf("term %q wants %d values, got %d", parts[0], n, len(vals))
+		}
+		return nil
+	}
+	switch parts[0] {
+	case "open":
+		return repro.OpenPort(), want(0)
+	case "short":
+		return repro.ShortPort(), want(0)
+	case "r":
+		if err := want(1); err != nil {
+			return nil, err
+		}
+		return repro.ResistorLoad(vals[0]), nil
+	case "decap":
+		if err := want(3); err != nil {
+			return nil, err
+		}
+		return repro.DecapLoad(vals[0], vals[1], vals[2]), nil
+	case "die":
+		if err := want(2); err != nil {
+			return nil, err
+		}
+		return repro.DieLoad(vals[0], vals[1]), nil
+	case "vrm":
+		if err := want(2); err != nil {
+			return nil, err
+		}
+		return repro.VRMLoad(vals[0], vals[1]), nil
+	}
+	return nil, fmt.Errorf("unknown termination %q (want open, short, r, decap, die or vrm)", parts[0])
+}
+
+// deriveModelWeight samples the model's own scattering response over a log
+// grid spanning its pole resonances and fits the sensitivity weight of the
+// loaded configuration to it — the batch-mode analogue of building the
+// weight from the original solver data.
+func deriveModelWeight(m *repro.Macromodel, load *repro.Load, order int) (*repro.Weight, error) {
+	lo, hi := math.Inf(1), 0.0
+	for _, p := range m.Poles() {
+		f := math.Abs(imag(p)) / (2 * math.Pi)
+		if f == 0 {
+			f = math.Abs(real(p)) / (2 * math.Pi)
+		}
+		if f < lo {
+			lo = f
+		}
+		if f > hi {
+			hi = f
+		}
+	}
+	if !(lo > 0) || hi <= 0 {
+		return nil, fmt.Errorf("model has no finite resonances to span a weight-fit band")
+	}
+	freqs := repro.LogFreqGrid(lo/10, hi*10, 80, false)
+	w, _, err := repro.BuildWeight(m.Sample(freqs), load, order)
+	return w, err
 }
 
 func printReport(rep *repro.PassivityReport) {

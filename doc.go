@@ -32,7 +32,9 @@
 //     singular-value constraints, minimizing either the standard L2 norm
 //     tr(δC·P·δCᵀ) or the paper's sensitivity-weighted norm
 //     Σ_ij δc_ij·P^Ξ,11·δc_ijᵀ built from the cascade realization
-//     S_ij(s)·Ξ̃(s) (EnforcePassivity, EnforceOptions.Weight).
+//     S_ij(s)·Ξ̃(s) (EnforcePassivity, EnforceOptions.Weight). Both cost
+//     Gramians are assembled in closed form per pole-pair block — no dense
+//     Lyapunov solve remains on any hot path.
 //  5. One call: Extract runs the whole pipeline.
 //
 // # Passivity characterization
@@ -101,8 +103,16 @@
 //
 // Model libraries are processed by EnforcePassivityBatch, which shards
 // models across workers — per-worker workspaces, per-model caches — and
-// aggregates per-model reports. Its results are bitwise identical to
-// sequential per-model EnforcePassivity runs at every worker count.
+// aggregates per-model reports. A shared sensitivity weight
+// (EnforceOptions.Weight) or per-model weights (BatchEnforceOptions.
+// Weights) select the paper's weighted cost for the whole library; each
+// model's cascade Gramian is built on its owning worker. The results are
+// bitwise identical to sequential per-model EnforcePassivity runs at
+// every worker count. Weights persist as JSON (Weight.SaveFile /
+// LoadWeightFile) so one fitted weight can drive repeated library sweeps.
+//
+// ARCHITECTURE.md maps the paper's equations to packages and expands on
+// these conventions.
 //
 // # Data
 //

@@ -3,6 +3,10 @@
 // closed form and by Monte-Carlo perturbation (the paper's defining
 // experiment, eq. 5), fits the minimum-phase rational weight Ξ̃(s) by
 // Magnitude Vector Fitting, and prints the three side by side (Fig. 3).
+// It then puts the weight to work: a non-passive fit of the same data is
+// enforced with the sensitivity-weighted cost ‖δS‖²_Ξ, whose Gramian
+// P^Ξ,11 is assembled by the closed-form cascade block path (eqs. 18–21,
+// rational.CascadeGramian) rather than a dense Lyapunov solve.
 package main
 
 import (
@@ -51,4 +55,34 @@ func main() {
 	fmt.Println("\nThe MC column (normalized by √(π/2)) tracks the closed form,")
 	fmt.Println("and the order-8 weight follows the sensitivity over the band.")
 	fmt.Printf("Weight poles (all strictly stable): %v\n", weight.Poles())
+
+	// Put the weight to work: fit the data with sensitivity weighting
+	// (accurate where it matters, but typically non-passive), then enforce
+	// passivity under the weighted cost. The cost Gramian P^Ξ,11 is built
+	// by the closed-form cascade assembly — the dense Lyapunov solve of
+	// the naive construction survives only as a test oracle.
+	model, _, err := repro.Fit(syn.Data, repro.FitOptions{
+		NumPoles: 10, Weights: xi, ConstrainD: 0.999,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	chk, err := repro.CheckPassivity(model, repro.CheckOptions{Method: repro.CheckAdaptive})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nWeighted fit: %d poles, passive=%v (σmax=%.4f)\n",
+		model.NumPoles(), chk.Passive, chk.MaxSigma)
+	if !chk.Passive {
+		enf, err := repro.EnforcePassivity(model, repro.EnforceOptions{
+			Check:  repro.CheckOptions{Method: repro.CheckAdaptive},
+			Weight: weight,
+			ClampD: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Weighted enforcement (closed-form cascade Gramian): passive=%v in %d iterations, σmax=%.6f\n",
+			enf.Passive, enf.Iterations, enf.Final.MaxSigma)
+	}
 }

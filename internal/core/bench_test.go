@@ -1,0 +1,51 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/rational"
+)
+
+// benchModelAndWeight builds a deterministic nP-pole model skeleton (only
+// the pole set matters for the Gramian) and an order-nw weight, the paper's
+// n_w = 8 by default.
+func benchModelAndWeight(b *testing.B, np, nw int) (*rational.Model, *rational.Model) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(7))
+	mPoles := rational.RandomStablePoles(rng, np)
+	model, err := rational.NewScalar(mPoles, make([]complex128, len(mPoles)), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	weight, err := rational.RandomScalarWeight(rng, nw)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return model, weight
+}
+
+// BenchmarkWeightedGramian measures the closed-form cascade block assembly
+// (rational.CascadeGramian) against the dense statespace.Series + Lyapunov
+// oracle it replaced, at the paper-scale operating point n_p = 500,
+// n_w = 8. The closed form is O(n² + n·n_w); the dense solve is
+// O((n+n_w)³) and was the last dense Lyapunov solve on any hot path.
+func BenchmarkWeightedGramian(b *testing.B) {
+	model, weight := benchModelAndWeight(b, 500, 8)
+	b.Run("closed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := WeightedGramian(model, weight); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dense", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := WeightedGramianDense(model, weight); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -24,7 +24,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 
 	"repro/internal/mat"
@@ -35,42 +34,77 @@ import (
 	"repro/internal/vecfit"
 )
 
-// ErrWeightNotSISO is returned when the weight model is not scalar.
-var ErrWeightNotSISO = errors.New("core: weight model must be SISO")
+// ErrWeightNotSISO is returned when the weight model is not scalar. It
+// aliases the rational-package sentinel so errors.Is matches either spelling.
+var ErrWeightNotSISO = rational.ErrWeightNotSISO
+
+// CascadeError is the typed error returned by the weighted-Gramian
+// constructors when the cascade realization S_ij(s)·Ξ̃(s) or its Gramian
+// cannot be built (unstable poles, dimension mismatch, failed Lyapunov
+// solve). Stage names the step that failed; Unwrap exposes the cause.
+type CascadeError struct {
+	Stage string // "cascade realization" or "gramian"
+	Err   error
+}
+
+// Error implements the error interface.
+func (e *CascadeError) Error() string {
+	return fmt.Sprintf("core: weighted cascade %s: %v", e.Stage, e.Err)
+}
+
+// Unwrap returns the underlying cause.
+func (e *CascadeError) Unwrap() error { return e.Err }
 
 // WeightedGramian computes the (1,1) block P^Ξ,11 of the controllability
 // Gramian of the cascade S_ij(s)·Ξ̃(s) (paper eqs. 18–19). The block is
 // common to all matrix entries because the model's poles are. The cascade
-// A matrix is upper block-triangular with quasi-triangular diagonal, so the
-// Lyapunov equation is solved by direct back-substitution (no Schur step).
+// A matrix is block upper-triangular with tiny (≤2×2) diagonal blocks, so
+// the Gramian is assembled block-by-block in closed form
+// (rational.CascadeGramian, O(n² + n·n_w)) instead of through a dense
+// (n+n_w)-dimensional Lyapunov solve; WeightedGramianDense keeps the dense
+// statespace path as the validation oracle.
 func WeightedGramian(model *rational.Model, weight *rational.Model) (*mat.Matrix, error) {
+	if weight.Ports() != 1 {
+		return nil, ErrWeightNotSISO
+	}
+	p11, err := rational.CascadeGramian(model.Poles, weight)
+	if err != nil {
+		return nil, &CascadeError{Stage: "gramian", Err: err}
+	}
+	return p11, nil
+}
+
+// WeightedGramianDense is the dense-oracle construction of P^Ξ,11: the
+// cascade is realized explicitly through statespace.Series (eq. 18) and its
+// full (n+n_w)-dimensional controllability Gramian solved by the dense
+// quasi-triangular Lyapunov solver, then partitioned (eq. 19). It is
+// O((n+n_w)³) and exists to cross-validate — and benchmark against — the
+// closed-form WeightedGramian, which must match it to tight tolerance.
+func WeightedGramianDense(model *rational.Model, weight *rational.Model) (*mat.Matrix, error) {
 	if weight.Ports() != 1 {
 		return nil, ErrWeightNotSISO
 	}
 	a1, b1 := model.BasisRealization()
 	n := len(b1)
 	wsys := weight.Realization() // SISO realization of Ξ̃
-	nw := wsys.Order()
 
-	// Cascade (18): A = [[A₁, b₁c̃],[0, Ã]], B = [b₁d̃; b̃].
+	// Cascade (18): A = [[A₁, b₁c̃],[0, Ã]], B = [b₁d̃; b̃]. The Gramian
+	// depends only on (A, B); C and D are zero stand-ins of the right shape.
 	bcol := mat.NewMatrix(n, 1)
 	for i, v := range b1 {
 		bcol.Set(i, 0, v)
 	}
-	g := statespace.MustNew(a1, bcol,
-		mat.NewMatrix(1, n), // C placeholder: Gramian only needs (A,B)
-		mat.NewMatrix(1, 1))
+	g := statespace.MustNew(a1, bcol, mat.NewMatrix(1, n), mat.NewMatrix(1, 1))
 	cascade, err := statespace.Series(g, wsys)
 	if err != nil {
-		return nil, fmt.Errorf("core: cascade realization: %w", err)
+		return nil, &CascadeError{Stage: "cascade realization", Err: err}
 	}
 	p, err := cascade.Gramian()
 	if err != nil {
-		return nil, fmt.Errorf("core: weighted Gramian Lyapunov solve: %w", err)
+		return nil, &CascadeError{Stage: "gramian", Err: err}
 	}
 	p11 := p.Slice(0, n, 0, n)
 	p11.Symmetrize()
-	_ = nw
 	return p11, nil
 }
 

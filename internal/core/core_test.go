@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math"
 	"math/cmplx"
 	"math/rand"
@@ -271,5 +272,118 @@ func TestBuildWeightOnSmallPDN(t *testing.T) {
 	ratioLo := gLo / xi[0]
 	if ratioLo < 0.3 || ratioLo > 3 {
 		t.Fatalf("weight misses the low-frequency sensitivity level: ratio %v", ratioLo)
+	}
+}
+
+// TestWeightedGramianMatchesDenseOracle: the closed-form block assembly
+// must reproduce the dense statespace.Series + Lyapunov oracle to ≤1e-10
+// relative Frobenius error across ≥50 random (model, weight) pairs.
+func TestWeightedGramianMatchesDenseOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	worst := 0.0
+	for trial := 0; trial < 60; trial++ {
+		mPoles := rational.RandomStablePoles(rng, 2+rng.Intn(20))
+		model, err := rational.NewScalar(mPoles, make([]complex128, len(mPoles)), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		weight, err := rational.RandomScalarWeight(rng, 1+rng.Intn(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := WeightedGramian(model, weight)
+		if err != nil {
+			t.Fatalf("trial %d: closed form: %v", trial, err)
+		}
+		dense, err := WeightedGramianDense(model, weight)
+		if err != nil {
+			t.Fatalf("trial %d: dense oracle: %v", trial, err)
+		}
+		var num, den float64
+		for i := 0; i < dense.Rows; i++ {
+			for j := 0; j < dense.Cols; j++ {
+				d := fast.At(i, j) - dense.At(i, j)
+				num += d * d
+				v := dense.At(i, j)
+				den += v * v
+			}
+		}
+		rel := math.Sqrt(num) / math.Sqrt(den)
+		if rel > worst {
+			worst = rel
+		}
+		if rel > 1e-10 {
+			t.Fatalf("trial %d: relative Frobenius error %v > 1e-10 (n=%d, nw=%d)",
+				trial, rel, len(mPoles), weight.NumPoles())
+		}
+	}
+	t.Logf("worst relative Frobenius error over 60 pairs: %.3g", worst)
+}
+
+// TestWeightedGramianTypedError: failures surface as *CascadeError with the
+// underlying sentinel reachable through errors.Is.
+func TestWeightedGramianTypedError(t *testing.T) {
+	model, err := rational.NewScalar([]complex128{complex(0.5, 0)}, []complex128{1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weight := testWeight(t)
+	_, err = WeightedGramian(model, weight)
+	var ce *CascadeError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *CascadeError, got %T (%v)", err, err)
+	}
+	if !errors.Is(err, rational.ErrUnstablePoles) {
+		t.Fatalf("cause not reachable: %v", err)
+	}
+}
+
+// TestWeightedBatchMatchesSequentialEnforceWeighted: the acceptance
+// criterion of the weighted batch path — passivity.EnforceBatch with a
+// shared weight must be bitwise identical to sequential per-model
+// EnforceWeighted at 1 and 4 workers (both build the cost from the same
+// closed-form cascade Gramian).
+func TestWeightedBatchMatchesSequentialEnforceWeighted(t *testing.T) {
+	const n = 5
+	weight := testWeight(t)
+	build := func() []*rational.Model {
+		lib := make([]*rational.Model, n)
+		for i := range lib {
+			m, err := passivity.SyntheticModel(passivity.SyntheticOptions{
+				Ports: 2, Poles: 14 + 2*(i%3), Seed: int64(70 + i), PeakGain: 1.1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			lib[i] = m
+		}
+		return lib
+	}
+	base := passivity.EnforceOptions{Check: passivity.CheckOptions{Method: passivity.MethodAdaptive}}
+
+	seq := build()
+	for i, m := range seq {
+		if _, err := EnforceWeighted(m, weight, base); err != nil {
+			t.Fatalf("sequential EnforceWeighted model %d: %v", i, err)
+		}
+	}
+	for _, workers := range []int{1, 4} {
+		lib := build()
+		rep := passivity.EnforceBatch(lib, passivity.BatchOptions{
+			Enforce: base, Weight: weight, Workers: workers,
+		})
+		for i := range lib {
+			if rep.Results[i].Err != nil {
+				t.Fatalf("workers=%d model %d: %v", workers, i, rep.Results[i].Err)
+			}
+			for k := range lib[i].Residues {
+				if !lib[i].Residues[k].Equalish(seq[i].Residues[k], 0) {
+					t.Fatalf("workers=%d model %d: residues differ bitwise from EnforceWeighted", workers, i)
+				}
+			}
+			if !lib[i].D.Equalish(seq[i].D, 0) {
+				t.Fatalf("workers=%d model %d: D differs from EnforceWeighted", workers, i)
+			}
+		}
 	}
 }

@@ -115,8 +115,8 @@ func TestExtensionsRunAndHoldShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 6 {
-		t.Fatalf("expected 6 extension experiments, got %d", len(results))
+	if len(results) != 7 {
+		t.Fatalf("expected 7 extension experiments, got %d", len(results))
 	}
 	for _, r := range results {
 		if len(r.Series) == 0 || len(r.Metrics) == 0 {
@@ -184,6 +184,17 @@ func TestExtensionsRunAndHoldShape(t *testing.T) {
 	}
 	if extF.Metrics["batch_iterations"] != extF.Metrics["sequential_iters"] {
 		t.Fatalf("Ext-F: batch and sequential iteration counts differ: %+v", extF.Metrics)
+	}
+
+	extG := results[6]
+	if extG.Metrics["worst_rel_frobenius_err"] > 1e-10 {
+		t.Fatalf("Ext-G: closed form diverges from the dense oracle: %+v", extG.Metrics)
+	}
+	if extG.Metrics["batch_bitwise_vs_closed"] != 1 {
+		t.Fatalf("Ext-G: weighted batch diverged from sequential weighted enforcement: %+v", extG.Metrics)
+	}
+	if extG.Metrics["enforce_max_abs_s_dev"] > 1e-6 {
+		t.Fatalf("Ext-G: closed-cost and dense-cost enforcement disagree: %+v", extG.Metrics)
 	}
 }
 

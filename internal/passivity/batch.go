@@ -1,6 +1,8 @@
 package passivity
 
 import (
+	"errors"
+	"fmt"
 	"runtime"
 
 	"repro/internal/parallel"
@@ -19,12 +21,29 @@ type BatchOptions struct {
 	// by exactly one worker with the same per-model state it would see in a
 	// sequential run.
 	Workers int
+	// Weight, when non-nil, selects the sensitivity-weighted cost for every
+	// model: the cost Gramian of model i is the closed-form cascade block
+	// P^Ξ,11 = rational.CascadeGramian(model.Poles, Weight), computed on the
+	// worker goroutine that owns the model (the block depends on the model's
+	// pole set, so it cannot be shared across models). The weight must be a
+	// stable SISO rational model.
+	Weight *rational.Model
+	// Weights supplies a per-model weight, overriding Weight for the models
+	// whose entry is non-nil (a nil entry falls back to Weight, or to the
+	// unweighted cost when Weight is nil too). When non-nil its length must
+	// equal the model count.
+	Weights []*rational.Model
 	// PerModel, when non-nil, derives the enforcement options of model i
-	// from the base options (e.g. a per-model cost Gramian for the
-	// sensitivity-weighted scheme). It runs on the worker goroutine that
-	// owns model i and must not share mutable state across calls.
+	// from the base options (e.g. a custom per-model cost Gramian). It runs
+	// on the worker goroutine that owns model i and must not share mutable
+	// state across calls. It sees — and may override — the weight-derived
+	// CostGramian installed by Weight/Weights.
 	PerModel func(i int, m *rational.Model, base EnforceOptions) (EnforceOptions, error)
 }
+
+// ErrBatchWeightCount is returned when BatchOptions.Weights is non-nil but
+// not index-aligned with the model slice.
+var ErrBatchWeightCount = errors.New("passivity: BatchOptions.Weights length must match the model count")
 
 // ModelResult is the per-model outcome of a batch run.
 type ModelResult struct {
@@ -57,7 +76,10 @@ type BatchReport struct {
 // model is attempted regardless of other models' failures; per-model
 // errors land in the result slots. The per-model reports and the final
 // residues are bitwise identical to running sequential Enforce on each
-// model with the same base options.
+// model with the same base options; with Weight/Weights set they are
+// bitwise identical to the sequential sensitivity-weighted run (the
+// per-model cost Gramian comes from the same closed-form
+// rational.CascadeGramian in both paths).
 //
 // Inside a sharded run the per-check worker fan-out is forced serial
 // (Check results are worker-count independent, so this changes nothing but
@@ -69,12 +91,32 @@ func EnforceBatch(models []*rational.Model, opts BatchOptions) *BatchReport {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	rep := &BatchReport{Results: make([]ModelResult, len(models))}
+	if opts.Weights != nil && len(opts.Weights) != len(models) {
+		for i := range rep.Results {
+			rep.Results[i] = ModelResult{Err: ErrBatchWeightCount}
+		}
+		rep.Stats.Models = len(models)
+		rep.Stats.Failed = len(models)
+		return rep
+	}
 	pools := make([]*workspacePool, workers)
 	for i := range pools {
 		pools[i] = newWorkspacePool()
 	}
 	parallel.ForWorker(workers, len(models), func(wk, i int) {
 		eopts := opts.Enforce
+		weight := opts.Weight
+		if opts.Weights != nil && opts.Weights[i] != nil {
+			weight = opts.Weights[i]
+		}
+		if weight != nil {
+			gram, err := rational.CascadeGramian(models[i].Poles, weight)
+			if err != nil {
+				rep.Results[i] = ModelResult{Err: fmt.Errorf("passivity: weighted cost Gramian of model %d: %w", i, err)}
+				return
+			}
+			eopts.CostGramian = gram
+		}
 		if opts.PerModel != nil {
 			var err error
 			eopts, err = opts.PerModel(i, models[i], eopts)

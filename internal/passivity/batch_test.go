@@ -135,3 +135,124 @@ func TestEnforceBatchPerModelHook(t *testing.T) {
 		}
 	}
 }
+
+// weightForBatch builds a deterministic stable SISO weight.
+func weightForBatch(t *testing.T) *rational.Model {
+	t.Helper()
+	w, err := rational.NewScalar(
+		[]complex128{complex(-2, 0), complex(-40, 300), complex(-40, -300)},
+		[]complex128{complex(3, 0), complex(1, 2), complex(1, -2)},
+		0.5,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestEnforceBatchWeightedMatchesSequential: with a shared sensitivity
+// weight the batch path must be bitwise identical — residues and reports —
+// to sequential per-model weighted enforcement (Enforce with the
+// closed-form cascade Gramian as cost) at every worker count.
+func TestEnforceBatchWeightedMatchesSequential(t *testing.T) {
+	const n = 6
+	weight := weightForBatch(t)
+	base := EnforceOptions{Check: CheckOptions{Method: MethodAdaptive}}
+
+	seq := batchLibrary(t, n)
+	seqReports := make([]*EnforceReport, n)
+	for i, m := range seq {
+		gram, err := rational.CascadeGramian(m.Poles, weight)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := base
+		opts.CostGramian = gram
+		rep, err := Enforce(m, opts)
+		if err != nil {
+			t.Fatalf("sequential weighted model %d: %v", i, err)
+		}
+		seqReports[i] = rep
+	}
+
+	for _, workers := range []int{1, 4} {
+		lib := batchLibrary(t, n)
+		rep := EnforceBatch(lib, BatchOptions{Enforce: base, Weight: weight, Workers: workers})
+		if rep.Stats.Models != n || rep.Stats.Failed != 0 || rep.Stats.Passive != n {
+			t.Fatalf("workers=%d: bad stats %+v", workers, rep.Stats)
+		}
+		for i := range lib {
+			if rep.Results[i].Err != nil {
+				t.Fatalf("workers=%d model %d: %v", workers, i, rep.Results[i].Err)
+			}
+			if !modelsBitwiseEqual(lib[i], seq[i]) {
+				t.Fatalf("workers=%d model %d: weighted batch differs bitwise from sequential", workers, i)
+			}
+			r := rep.Results[i].Report
+			if r.Iterations != seqReports[i].Iterations ||
+				r.Final.MaxSigma != seqReports[i].Final.MaxSigma {
+				t.Fatalf("workers=%d model %d: report differs", workers, i)
+			}
+		}
+	}
+}
+
+// TestEnforceBatchPerModelWeights: Weights[i] overrides the shared Weight;
+// nil entries fall back to it, and a mis-sized slice fails every slot with
+// the sentinel instead of panicking mid-shard.
+func TestEnforceBatchPerModelWeights(t *testing.T) {
+	const n = 3
+	weight := weightForBatch(t)
+	alt, err := rational.NewScalar([]complex128{complex(-5, 0)}, []complex128{2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := EnforceOptions{Check: CheckOptions{Method: MethodAdaptive}}
+
+	// Reference: model 1 under alt, others under the shared weight.
+	seq := batchLibrary(t, n)
+	for i, m := range seq {
+		w := weight
+		if i == 1 {
+			w = alt
+		}
+		gram, err := rational.CascadeGramian(m.Poles, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := base
+		opts.CostGramian = gram
+		if _, err := Enforce(m, opts); err != nil {
+			t.Fatalf("sequential model %d: %v", i, err)
+		}
+	}
+
+	lib := batchLibrary(t, n)
+	rep := EnforceBatch(lib, BatchOptions{
+		Enforce: base,
+		Weight:  weight,
+		Weights: []*rational.Model{nil, alt, nil},
+		Workers: 2,
+	})
+	for i := range lib {
+		if rep.Results[i].Err != nil {
+			t.Fatalf("model %d: %v", i, rep.Results[i].Err)
+		}
+		if !modelsBitwiseEqual(lib[i], seq[i]) {
+			t.Fatalf("model %d: per-model weight selection differs from sequential", i)
+		}
+	}
+
+	bad := EnforceBatch(batchLibrary(t, n), BatchOptions{
+		Enforce: base,
+		Weights: []*rational.Model{weight},
+	})
+	if bad.Stats.Failed != n {
+		t.Fatalf("mis-sized Weights should fail every model: %+v", bad.Stats)
+	}
+	for i, r := range bad.Results {
+		if r.Err != ErrBatchWeightCount {
+			t.Fatalf("model %d: want ErrBatchWeightCount, got %v", i, r.Err)
+		}
+	}
+}

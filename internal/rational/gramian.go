@@ -7,9 +7,89 @@ import (
 	"repro/internal/mat"
 )
 
-// ErrUnstablePoles is returned by BasisGramian for a pole set that is not
-// strictly stable (the Gramian integral diverges).
+// ErrUnstablePoles is returned by BasisGramian and CascadeGramian for a
+// pole set that is not strictly stable (the Gramian integral diverges).
 var ErrUnstablePoles = errors.New("rational: basis Gramian needs strictly stable poles")
+
+// ErrWeightNotSISO is returned by CascadeGramian when the weight model is
+// not scalar (the paper's Ξ̃(s) is a SISO magnitude weight).
+var ErrWeightNotSISO = errors.New("rational: cascade weight model must be SISO")
+
+// block is one diagonal block of a basis realization: slot k, size 1 for a
+// real pole or 2 for a conjugate pair.
+type block struct {
+	k, size int
+}
+
+// poleBlocks splits a canonical pole list (conjugate pairs adjacent) into
+// the diagonal blocks of its basis realization.
+func poleBlocks(poles []complex128) []block {
+	blocks := make([]block, 0, len(poles))
+	for k := 0; k < len(poles); {
+		if imag(poles[k]) == 0 {
+			blocks = append(blocks, block{k, 1})
+			k++
+		} else {
+			blocks = append(blocks, block{k, 2})
+			k += 2
+		}
+	}
+	return blocks
+}
+
+// loadBlock returns the (A, b) pieces of one diagonal block, matching
+// BasisFromPoles: a real pole p gives A = [p], b = [1]; a conjugate pair
+// α±jβ gives A = [[α,β],[−β,α]], b = [2,0].
+func loadBlock(poles []complex128, b block) ([2][2]float64, [2]float64) {
+	p := poles[b.k]
+	if b.size == 1 {
+		return [2][2]float64{{real(p), 0}, {0, 0}}, [2]float64{1, 0}
+	}
+	al, be := real(p), imag(p)
+	return [2][2]float64{{al, be}, {-be, al}}, [2]float64{2, 0}
+}
+
+// sylvesterBlock solves the tiny Sylvester equation
+//
+//	A_a·X + X·A_bᵀ = rhs,   ra×rb with ra, rb ≤ 2,
+//
+// by Gaussian elimination on its vectorization
+// (I_rb ⊗ A_a + A_b ⊗ I_ra)·vec(X) = vec(rhs), columns stacked. The
+// solution overwrites rhs. The system is nonsingular whenever no
+// eigenvalue of A_a is the negative of one of A_b — guaranteed for two
+// strictly stable blocks.
+func sylvesterBlock(aa, ab [2][2]float64, ra, rb int, rhs *[2][2]float64) error {
+	dim := ra * rb
+	var m [4][5]float64 // augmented [M | vec(rhs)]
+	for c := 0; c < rb; c++ {
+		for r := 0; r < ra; r++ {
+			row := c*ra + r
+			for cc := 0; cc < rb; cc++ {
+				for rr := 0; rr < ra; rr++ {
+					col := cc*ra + rr
+					v := 0.0
+					if c == cc {
+						v += aa[r][rr]
+					}
+					if r == rr {
+						v += ab[c][cc]
+					}
+					m[row][col] = v
+				}
+			}
+			m[row][dim] = rhs[r][c]
+		}
+	}
+	if err := solveSmall(&m, dim); err != nil {
+		return err
+	}
+	for c := 0; c < rb; c++ {
+		for r := 0; r < ra; r++ {
+			rhs[r][c] = m[c*ra+r][dim]
+		}
+	}
+	return nil
+}
 
 // BasisGramian returns the controllability Gramian P₁ of the single-input
 // basis realization (A₁, b₁) = BasisFromPoles(poles) in closed form. A₁ is
@@ -31,81 +111,156 @@ func BasisGramian(poles []complex128) (*mat.Matrix, error) {
 	}
 	n := len(poles)
 	g := mat.NewMatrix(n, n)
-
-	// Block boundaries: each entry is the starting slot of a block.
-	type block struct {
-		k, size int
-	}
-	blocks := make([]block, 0, n)
-	for k := 0; k < n; {
-		if imag(poles[k]) == 0 {
-			blocks = append(blocks, block{k, 1})
-			k++
-		} else {
-			blocks = append(blocks, block{k, 2})
-			k += 2
-		}
-	}
-
-	// Per-block realization pieces, matching BasisFromPoles.
-	var aBlk [2][2]float64
-	var bBlk [2]float64
-	load := func(b block) ([2][2]float64, [2]float64) {
-		p := poles[b.k]
-		if b.size == 1 {
-			aBlk = [2][2]float64{{real(p), 0}, {0, 0}}
-			bBlk = [2]float64{1, 0}
-		} else {
-			al, be := real(p), imag(p)
-			aBlk = [2][2]float64{{al, be}, {-be, al}}
-			bBlk = [2]float64{2, 0}
-		}
-		return aBlk, bBlk
-	}
-
+	blocks := poleBlocks(poles)
 	for ai, ba := range blocks {
-		aa, bva := load(ba)
+		aa, bva := loadBlock(poles, ba)
 		for bi := ai; bi < len(blocks); bi++ {
 			bb := blocks[bi]
-			ab, bvb := load(bb)
-			ra, rb := ba.size, bb.size
-			// Sylvester system on vec(X), columns stacked:
-			// (I_rb ⊗ A_a + A_b ⊗ I_ra)·vec(X) = −vec(b_a·b_bᵀ).
-			dim := ra * rb
-			var m [4][5]float64 // augmented [M | rhs]
-			for c := 0; c < rb; c++ {
-				for r := 0; r < ra; r++ {
-					row := c*ra + r
-					for cc := 0; cc < rb; cc++ {
-						for rr := 0; rr < ra; rr++ {
-							col := cc*ra + rr
-							v := 0.0
-							if c == cc {
-								v += aa[r][rr]
-							}
-							if r == rr {
-								v += ab[c][cc]
-							}
-							m[row][col] = v
-						}
-					}
-					m[row][dim] = -bva[r] * bvb[c]
+			ab, bvb := loadBlock(poles, bb)
+			var rhs [2][2]float64
+			for r := 0; r < ba.size; r++ {
+				for c := 0; c < bb.size; c++ {
+					rhs[r][c] = -bva[r] * bvb[c]
 				}
 			}
-			if err := solveSmall(&m, dim); err != nil {
+			if err := sylvesterBlock(aa, ab, ba.size, bb.size, &rhs); err != nil {
 				return nil, err
 			}
 			// Scatter X into the Gramian; X_ba = X_abᵀ by symmetry of P.
-			for c := 0; c < rb; c++ {
-				for r := 0; r < ra; r++ {
-					x := m[c*ra+r][dim]
-					g.Set(ba.k+r, bb.k+c, x)
-					g.Set(bb.k+c, ba.k+r, x)
+			for c := 0; c < bb.size; c++ {
+				for r := 0; r < ba.size; r++ {
+					g.Set(ba.k+r, bb.k+c, rhs[r][c])
+					g.Set(bb.k+c, ba.k+r, rhs[r][c])
 				}
 			}
 		}
 	}
 	return g, nil
+}
+
+// CascadeGramian returns the (1,1) block P^Ξ,11 of the controllability
+// Gramian of the cascade S(s)·Ξ̃(s) in closed form (Ubolli et al., DATE
+// 2014, eqs. 18–20): poles are the model's common poles (basis realization
+// (A₁, b₁)), weight is the SISO rational weight Ξ̃ with realization
+// (Ã, b̃, c̃, d̃). The cascade state matrix
+//
+//	A = | A₁  b₁c̃ |     B = | b₁d̃ |
+//	    | 0    Ã  |         |  b̃  |
+//
+// is block upper-triangular with block-diagonal A₁ and Ã, so instead of
+// one dense (n+n_w)-dimensional Lyapunov solve the partitioned equations
+// decouple into tiny (≤2×2) Sylvester blocks:
+//
+//	P22:  Ã·P22 + P22·Ãᵀ = −b̃b̃ᵀ                    (the weight's own Gramian)
+//	P12:  A₁·P12 + P12·Ãᵀ = −b₁·vᵀ,  v = d̃b̃ + P22c̃ᵀ
+//	P11:  A₁·P11 + P11·A₁ᵀ = −(d̃²·b₁b₁ᵀ + b₁wᵀ + wb₁ᵀ),  w = P12c̃ᵀ
+//
+// The assembly is O(n² + n·n_w), removing the O((n+n_w)³) dense solve from
+// the weighted enforcement path; with poles shared by all entries the
+// block is computed once per model. An order-0 weight (pure gain d̃)
+// degenerates to d̃²·BasisGramian(poles). statespace.Series + the dense
+// Lyapunov solve remain available as the validation oracle
+// (core.WeightedGramianDense).
+func CascadeGramian(poles []complex128, weight *Model) (*mat.Matrix, error) {
+	if weight.Ports() != 1 {
+		return nil, ErrWeightNotSISO
+	}
+	for _, p := range poles {
+		if real(p) >= 0 {
+			return nil, ErrUnstablePoles
+		}
+	}
+	for _, p := range weight.Poles {
+		if real(p) >= 0 {
+			return nil, ErrUnstablePoles
+		}
+	}
+	n := len(poles)
+	nw := len(weight.Poles)
+	wc := weight.CVector(0, 0)
+	wd := weight.D.At(0, 0)
+
+	// P22: the weight basis Gramian (nw×nw, block closed form).
+	p22, err := BasisGramian(weight.Poles)
+	if err != nil {
+		return nil, err
+	}
+
+	// v = d̃·b̃ + P22·c̃ᵀ.
+	_, bw := BasisFromPoles(weight.Poles)
+	v := make([]float64, nw)
+	for i := 0; i < nw; i++ {
+		s := wd * bw[i]
+		for j := 0; j < nw; j++ {
+			s += p22.At(i, j) * wc[j]
+		}
+		v[i] = s
+	}
+
+	mBlocks := poleBlocks(poles)
+	wBlocks := poleBlocks(weight.Poles)
+
+	// P12 (n×nw): block (a,b) solves A_a·X + X·Ã_bᵀ = −b_a·v_bᵀ.
+	p12 := mat.NewMatrix(n, nw)
+	for _, ba := range mBlocks {
+		aa, bva := loadBlock(poles, ba)
+		for _, bb := range wBlocks {
+			ab, _ := loadBlock(weight.Poles, bb)
+			var rhs [2][2]float64
+			for r := 0; r < ba.size; r++ {
+				for c := 0; c < bb.size; c++ {
+					rhs[r][c] = -bva[r] * v[bb.k+c]
+				}
+			}
+			if err := sylvesterBlock(aa, ab, ba.size, bb.size, &rhs); err != nil {
+				return nil, err
+			}
+			for r := 0; r < ba.size; r++ {
+				for c := 0; c < bb.size; c++ {
+					p12.Set(ba.k+r, bb.k+c, rhs[r][c])
+				}
+			}
+		}
+	}
+
+	// w = P12·c̃ᵀ.
+	w := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := 0.0
+		for j := 0; j < nw; j++ {
+			s += p12.At(i, j) * wc[j]
+		}
+		w[i] = s
+	}
+
+	// P11: block (a,b) solves
+	// A_a·X + X·A_bᵀ = −(d̃²·b_a·b_bᵀ + b_a·w_bᵀ + w_a·b_bᵀ).
+	dd := wd * wd
+	p11 := mat.NewMatrix(n, n)
+	for ai, ba := range mBlocks {
+		aa, bva := loadBlock(poles, ba)
+		for bi := ai; bi < len(mBlocks); bi++ {
+			bb := mBlocks[bi]
+			ab, bvb := loadBlock(poles, bb)
+			var rhs [2][2]float64
+			for r := 0; r < ba.size; r++ {
+				for c := 0; c < bb.size; c++ {
+					rhs[r][c] = -(dd*bva[r]*bvb[c] +
+						bva[r]*w[bb.k+c] + w[ba.k+r]*bvb[c])
+				}
+			}
+			if err := sylvesterBlock(aa, ab, ba.size, bb.size, &rhs); err != nil {
+				return nil, err
+			}
+			for c := 0; c < bb.size; c++ {
+				for r := 0; r < ba.size; r++ {
+					p11.Set(ba.k+r, bb.k+c, rhs[r][c])
+					p11.Set(bb.k+c, ba.k+r, rhs[r][c])
+				}
+			}
+		}
+	}
+	return p11, nil
 }
 
 // solveSmall runs Gaussian elimination with partial pivoting on the

@@ -1,26 +1,11 @@
 package rational
 
 import (
-	"math"
 	"math/rand"
 	"testing"
 
 	"repro/internal/mat"
 )
-
-func randomStablePoles(rng *rand.Rand, n int) []complex128 {
-	poles := make([]complex128, 0, n)
-	for len(poles) < n {
-		if n-len(poles) == 1 || rng.Float64() < 0.3 {
-			poles = append(poles, complex(-0.1-3*rng.Float64(), 0))
-			continue
-		}
-		wr := math.Pow(10, 4*rng.Float64())
-		gamma := wr * (0.01 + 0.2*rng.Float64())
-		poles = append(poles, complex(-gamma, wr), complex(-gamma, -wr))
-	}
-	return poles
-}
 
 // TestBasisGramianMatchesLyapunov: the closed-form block assembly must
 // agree with the dense Schur-based Lyapunov solve on random stable pole
@@ -28,7 +13,7 @@ func randomStablePoles(rng *rand.Rand, n int) []complex128 {
 func TestBasisGramianMatchesLyapunov(t *testing.T) {
 	rng := rand.New(rand.NewSource(21))
 	for trial := 0; trial < 20; trial++ {
-		poles := randomStablePoles(rng, 2+rng.Intn(14))
+		poles := RandomStablePoles(rng, 2+rng.Intn(14))
 		got, err := BasisGramian(poles)
 		if err != nil {
 			t.Fatal(err)
@@ -65,7 +50,7 @@ func TestBasisGramianRejectsUnstable(t *testing.T) {
 // Into variant must be exact.
 func TestEvalWithBasisIntoMatchesEval(t *testing.T) {
 	rng := rand.New(rand.NewSource(22))
-	poles := randomStablePoles(rng, 8)
+	poles := RandomStablePoles(rng, 8)
 	p := 3
 	res := make([]*mat.CMatrix, len(poles))
 	for k := 0; k < len(poles); {
@@ -124,5 +109,92 @@ func TestEvalWithBasisIntoMatchesEval(t *testing.T) {
 		h = m.EvalWithBasisInto(h, basis)
 	}); n != 0 {
 		t.Fatalf("EvalBasisInto+EvalWithBasisInto allocate %v times per frequency after warm-up", n)
+	}
+}
+
+// TestCascadeGramianIdentityWeightReducesToBasis: a unit weight Ξ̃(s) = 1 —
+// order 0 (pure gain) or order 1 with a zero residue — turns the cascade
+// S·Ξ̃ back into S, so P^Ξ,11 must equal the unweighted basis Gramian.
+func TestCascadeGramianIdentityWeightReducesToBasis(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	unit0, err := NewScalar(nil, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit1, err := NewScalar([]complex128{complex(-7, 0)}, []complex128{0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 20; trial++ {
+		poles := RandomStablePoles(rng, 2+rng.Intn(14))
+		want, err := BasisGramian(poles)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tol := 1e-12 * (1 + want.MaxAbs())
+		for name, w := range map[string]*Model{"order0": unit0, "order1": unit1} {
+			got, err := CascadeGramian(poles, w)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, name, err)
+			}
+			if !got.Equalish(want, tol) {
+				t.Fatalf("trial %d: %s unit weight does not reduce to BasisGramian\n(poles %v)",
+					trial, name, poles)
+			}
+		}
+	}
+}
+
+// TestCascadeGramianSPDAndSymmetric: across ~50 random (model poles,
+// weight) pairs the closed-form P^Ξ,11 must be exactly symmetric (the
+// assembly scatters both triangles from one solve) and positive definite
+// (it is a principal block of a controllability Gramian).
+func TestCascadeGramianSPDAndSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 50; trial++ {
+		poles := RandomStablePoles(rng, 2+rng.Intn(16))
+		weight, err := RandomScalarWeight(rng, 1+rng.Intn(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := CascadeGramian(poles, weight)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := 0; i < g.Rows; i++ {
+			for j := i + 1; j < g.Cols; j++ {
+				if g.At(i, j) != g.At(j, i) {
+					t.Fatalf("trial %d: asymmetric at (%d,%d): %v vs %v",
+						trial, i, j, g.At(i, j), g.At(j, i))
+				}
+			}
+		}
+		if _, err := mat.CholFactor(g); err != nil {
+			t.Fatalf("trial %d: P^Ξ,11 not SPD: %v", trial, err)
+		}
+	}
+}
+
+// TestCascadeGramianRejectsBadInputs: non-SISO weights and unstable poles
+// (on either side of the cascade) must be refused with the typed sentinels.
+func TestCascadeGramianRejectsBadInputs(t *testing.T) {
+	unit, err := NewScalar(nil, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stable := []complex128{complex(-1, 0)}
+	if _, err := CascadeGramian([]complex128{complex(0.1, 0)}, unit); err != ErrUnstablePoles {
+		t.Fatalf("unstable model poles: got %v", err)
+	}
+	unstableW, err := NewScalar([]complex128{complex(0.5, 0)}, []complex128{1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CascadeGramian(stable, unstableW); err != ErrUnstablePoles {
+		t.Fatalf("unstable weight poles: got %v", err)
+	}
+	mimo := &Model{D: mat.NewMatrix(2, 2)}
+	if _, err := CascadeGramian(stable, mimo); err != ErrWeightNotSISO {
+		t.Fatalf("MIMO weight: got %v", err)
 	}
 }

@@ -1,0 +1,45 @@
+package rational
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RandomStablePoles draws a strictly stable canonical pole list (conjugate
+// pairs adjacent) of length n: resonance frequencies spread over four
+// decades with moderate damping, the geometry of PDN macromodels, plus
+// occasional real poles. It backs the Gramian property tests, benchmarks
+// and the Ext-G experiment, which must all agree on one pole convention.
+func RandomStablePoles(rng *rand.Rand, n int) []complex128 {
+	poles := make([]complex128, 0, n)
+	for len(poles) < n {
+		if n-len(poles) == 1 || rng.Float64() < 0.3 {
+			poles = append(poles, complex(-0.1-3*rng.Float64(), 0))
+			continue
+		}
+		wr := math.Pow(10, 4*rng.Float64())
+		gamma := wr * (0.01 + 0.2*rng.Float64())
+		poles = append(poles, complex(-gamma, wr), complex(-gamma, -wr))
+	}
+	return poles
+}
+
+// RandomScalarWeight draws a random stable SISO rational weight of the
+// given order: RandomStablePoles poles, conjugate-symmetric residues, and
+// a positive direct term so the weight never vanishes identically — the
+// shape Magnitude Vector Fitting produces for the sensitivity weight Ξ̃.
+func RandomScalarWeight(rng *rand.Rand, order int) (*Model, error) {
+	poles := RandomStablePoles(rng, order)
+	res := make([]complex128, len(poles))
+	for k := 0; k < len(poles); {
+		if imag(poles[k]) == 0 {
+			res[k] = complex(rng.NormFloat64(), 0)
+			k++
+			continue
+		}
+		res[k] = complex(rng.NormFloat64(), rng.NormFloat64())
+		res[k+1] = complex(real(res[k]), -imag(res[k]))
+		k += 2
+	}
+	return NewScalar(poles, res, 0.2+rng.Float64())
+}

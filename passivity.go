@@ -1,63 +1,13 @@
 package repro
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/core"
 	"repro/internal/passivity"
 	"repro/internal/rational"
-	"repro/internal/vecfit"
 )
-
-// Weight is a stable, minimum-phase SISO rational model Ξ̃(s) used as a
-// frequency-dependent weight in fitting and passivity enforcement.
-type Weight struct {
-	model *rational.Model
-}
-
-// Eval returns |Ξ̃(j2πf)|.
-func (w *Weight) Eval(freqHz float64) float64 {
-	z := w.model.EvalEntry(0, 0, 2*math.Pi*freqHz)
-	return math.Hypot(real(z), imag(z))
-}
-
-// Order returns the weight model order n_w.
-func (w *Weight) Order() int { return w.model.NumPoles() }
-
-// Poles returns a copy of the weight poles.
-func (w *Weight) Poles() []complex128 {
-	return append([]complex128(nil), w.model.Poles...)
-}
-
-// FitWeight fits a minimum-phase rational weight to magnitude samples
-// xi[k] ≥ 0 at freqHz[k] via Magnitude Vector Fitting (paper eq. 17).
-// order is n_w (the paper uses 8); iterations ≤ 0 selects the default.
-func FitWeight(freqHz []float64, xi []float64, order, iterations int) (*Weight, error) {
-	omega := make([]float64, len(freqHz))
-	for i, f := range freqHz {
-		omega[i] = 2 * math.Pi * f
-	}
-	m, _, err := vecfit.FitMagnitude(omega, xi, vecfit.MagOptions{Order: order, Iterations: iterations})
-	if err != nil {
-		return nil, err
-	}
-	return &Weight{model: m}, nil
-}
-
-// BuildWeight computes the sensitivity Ξ of the loaded PDN directly from
-// the data and fits the weight model in one step (order ≤ 0 defaults to
-// the paper's n_w = 8). It returns the weight and the raw sensitivity
-// samples.
-func BuildWeight(data *SData, load *Load, order int) (*Weight, []float64, error) {
-	if err := data.Validate(); err != nil {
-		return nil, nil, err
-	}
-	m, xi, err := core.BuildWeight(data.Omega(), data.S, data.R0, load, core.WeightOptions{Order: order})
-	if err != nil {
-		return nil, nil, err
-	}
-	return &Weight{model: m}, xi, nil
-}
 
 // PassivityViolation is one frequency band where a singular value of the
 // model scattering matrix exceeds one.
@@ -248,8 +198,13 @@ func EnforcePassivityByScaling(m *Macromodel, opts EnforceOptions) (*ScalingEnfo
 type BatchEnforceOptions struct {
 	// Enforce is the per-model enforcement configuration. With Weight set,
 	// every model gets the sensitivity-weighted cost built from its own
-	// cascade Gramian; otherwise the standard L2 cost.
+	// closed-form cascade Gramian; otherwise the standard L2 cost.
 	Enforce EnforceOptions
+	// Weights supplies a per-model sensitivity weight, index-aligned with
+	// the model slice; a nil entry falls back to Enforce.Weight (or the
+	// standard cost when that is nil too). Model libraries fitted against
+	// different termination networks carry one weight each this way.
+	Weights []*Weight
 	// Workers bounds the model-level parallelism (0 = GOMAXPROCS). The
 	// per-model results are bitwise independent of the value.
 	Workers int
@@ -276,6 +231,9 @@ type BatchEnforceReport struct {
 // The per-model outcomes are bitwise identical to calling EnforcePassivity
 // on each model sequentially with the same options.
 func EnforcePassivityBatch(models []*Macromodel, opts BatchEnforceOptions) (*BatchEnforceReport, error) {
+	if opts.Weights != nil && len(opts.Weights) != len(models) {
+		return nil, fmt.Errorf("repro: %d weights for %d models", len(opts.Weights), len(models))
+	}
 	raw := make([]*rational.Model, len(models))
 	for i, m := range models {
 		raw[i] = m.model
@@ -290,13 +248,14 @@ func EnforcePassivityBatch(models []*Macromodel, opts BatchEnforceOptions) (*Bat
 		Workers: opts.Workers,
 	}
 	if w := opts.Enforce.Weight; w != nil {
-		bopts.PerModel = func(i int, m *rational.Model, base passivity.EnforceOptions) (passivity.EnforceOptions, error) {
-			gram, err := core.WeightedGramian(m, w.model)
-			if err != nil {
-				return base, err
+		bopts.Weight = w.model
+	}
+	if opts.Weights != nil {
+		bopts.Weights = make([]*rational.Model, len(opts.Weights))
+		for i, w := range opts.Weights {
+			if w != nil {
+				bopts.Weights[i] = w.model
 			}
-			base.CostGramian = gram
-			return base, nil
 		}
 	}
 	brep := passivity.EnforceBatch(raw, bopts)

@@ -106,3 +106,111 @@ func TestEnforcePassivityByScalingPublicAPI(t *testing.T) {
 		t.Fatalf("scaled model lost all structure: RMS %v", rms)
 	}
 }
+
+// TestWeightJSONRoundTrip: a fitted sensitivity weight must survive
+// SaveFile/LoadWeightFile with its magnitude response intact — bitwise, in
+// fact, since the JSON stores full float64 precision.
+func TestWeightJSONRoundTrip(t *testing.T) {
+	freqs := repro.LogFreqGrid(1e3, 2e9, 40, false)
+	syn, err := repro.GeneratePDN(repro.PDNSmall, freqs, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xi, err := repro.Sensitivity(syn.Data, syn.Load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := repro.FitWeight(freqs, xi, 6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/weight.json"
+	if err := w.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := repro.LoadWeightFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Order() != w.Order() {
+		t.Fatalf("order changed: %d vs %d", back.Order(), w.Order())
+	}
+	for _, f := range []float64{1e3, 1e5, 1e7, 1e9} {
+		if back.Eval(f) != w.Eval(f) {
+			t.Fatalf("|W(%g)| changed across round trip: %v vs %v", f, back.Eval(f), w.Eval(f))
+		}
+	}
+	if _, err := repro.LoadWeightFile(t.TempDir() + "/missing.json"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+// TestEnforcePassivityBatchPerModelWeights: the public batch path accepts
+// per-model weights and stays bitwise identical to sequential per-model
+// weighted EnforcePassivity.
+func TestEnforcePassivityBatchPerModelWeights(t *testing.T) {
+	freqs := repro.LogFreqGrid(1e3, 2e9, 40, false)
+	syn, err := repro.GeneratePDN(repro.PDNSmall, freqs, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xi, err := repro.Sensitivity(syn.Data, syn.Load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weight, err := repro.FitWeight(freqs, xi, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 3
+	build := func() []*repro.Macromodel {
+		lib := make([]*repro.Macromodel, n)
+		for i := range lib {
+			m, err := repro.SyntheticMacromodel(repro.SyntheticModelOptions{
+				Ports: 2, Poles: 14, Seed: int64(200 + i), PeakGain: 1.1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			lib[i] = m
+		}
+		return lib
+	}
+	opts := repro.EnforceOptions{Check: repro.CheckOptions{Method: repro.CheckAdaptive}, Weight: weight}
+
+	seq := build()
+	for i, m := range seq {
+		if _, err := repro.EnforcePassivity(m, opts); err != nil {
+			t.Fatalf("sequential model %d: %v", i, err)
+		}
+	}
+	bat := build()
+	rep, err := repro.EnforcePassivityBatch(bat, repro.BatchEnforceOptions{
+		Enforce: repro.EnforceOptions{Check: opts.Check},
+		Weights: []*repro.Weight{weight, weight, weight},
+		Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bat {
+		if rep.Errors[i] != nil {
+			t.Fatalf("batch model %d: %v", i, rep.Errors[i])
+		}
+		for _, f := range []float64{0.5, 7, 90, 1100} {
+			a, b := seq[i].Eval(f), bat[i].Eval(f)
+			for r := range a {
+				for c := range a[r] {
+					if a[r][c] != b[r][c] {
+						t.Fatalf("model %d: batch with per-model weights differs bitwise at f=%g", i, f)
+					}
+				}
+			}
+		}
+	}
+	if _, err := repro.EnforcePassivityBatch(bat, repro.BatchEnforceOptions{
+		Weights: []*repro.Weight{weight},
+	}); err == nil {
+		t.Fatal("mis-sized Weights accepted")
+	}
+}
