@@ -1,14 +1,14 @@
 // Command experiments regenerates the paper's evaluation figures (§IV,
 // Figs. 1–6) on the synthetic 45-port PDN testcase, plus the extension
-// experiments Ext-A..Ext-G (representation independence, transient
+// experiments Ext-A..Ext-H (representation independence, transient
 // verification, MOR baseline, enforcement ablation, adaptive
-// characterization, batch enforcement, closed-form weighted Gramian),
-// printing the shape metrics recorded in EXPERIMENTS.md and writing one
-// CSV per figure.
+// characterization, batch enforcement, closed-form weighted Gramian,
+// certified enforcement escape rate), printing the shape metrics recorded
+// in EXPERIMENTS.md and writing one CSV per figure.
 //
 // Usage:
 //
-//	experiments [-fig all|figs|ext|1|..|6|A|..|G] [-out dir] [-points N] [-poles N] [-quick]
+//	experiments [-fig all|figs|ext|1|..|6|A|..|H] [-out dir] [-points N] [-poles N] [-quick]
 package main
 
 import (
@@ -45,10 +45,10 @@ func main() {
 		"1": ctx.Fig1, "2": ctx.Fig2, "3": ctx.Fig3,
 		"4": ctx.Fig4, "5": ctx.Fig5, "6": ctx.Fig6,
 		"A": ctx.ExtA, "B": ctx.ExtB, "C": ctx.ExtC, "D": ctx.ExtD, "E": ctx.ExtE,
-		"F": ctx.ExtF, "G": ctx.ExtG,
+		"F": ctx.ExtF, "G": ctx.ExtG, "H": ctx.ExtH,
 	}
 	figOrder := []string{"1", "2", "3", "4", "5", "6"}
-	extOrder := []string{"A", "B", "C", "D", "E", "F", "G"}
+	extOrder := []string{"A", "B", "C", "D", "E", "F", "G", "H"}
 
 	var keys []string
 	switch strings.ToLower(*fig) {

@@ -4,14 +4,24 @@
 //
 // Usage:
 //
-//	passcheck [-ports N] [-fit n] [-enforce] [-save out.json] [-method m] input.s4p
-//	passcheck -model model.json [-enforce] [-weight w.json] [-save out.json] [-method m]
-//	passcheck -batch 'lib/*.json' [-enforce] [-weight w.json | -load spec] [-workers N] [-save-dir out/]
+//	passcheck [-ports N] [-fit n] [-enforce] [-certify] [-save out.json] [-method m] input.s4p
+//	passcheck -model model.json [-enforce] [-certify] [-weight w.json] [-save out.json] [-method m]
+//	passcheck -batch 'lib/*.json' [-enforce] [-certify] [-weight w.json | -load spec] [-workers N] [-save-dir out/]
 //
 // -method selects the detection algorithm: auto (Hamiltonian for small
 // models, multi-stage adaptive sampling otherwise), hamiltonian, sweep, or
 // adaptive. -sweep tunes the fixed sweep's grid density; the adaptive
 // method ignores it and is tuned by -seedpoints instead.
+//
+// -certify escalates every passive verdict through the staged
+// certification pipeline (closed-form tail-bound interval certificates,
+// then an exact or restricted-band Hamiltonian eigentest): a plain check
+// reports the certifying stage and its cost; with -enforce, violation
+// bands the pipeline proves re-enter the enforcement loop as constraints,
+// so a model only comes back passive together with a certificate covering
+// the whole frequency axis. The report lines name the stage that settled
+// the verdict, the largest eigenproblem solved and the intervals each
+// stage certified.
 //
 // -batch runs over a whole model library (a glob of saved macromodel JSON
 // files): with -enforce the models are enforced in parallel shards
@@ -59,6 +69,7 @@ func main() {
 	modelPath := flag.String("model", "", "check a saved macromodel (JSON) instead of raw data")
 	fit := flag.Int("fit", 0, "fit a macromodel with this many poles before checking")
 	enforce := flag.Bool("enforce", false, "enforce passivity on the (fitted or loaded) model")
+	certify := flag.Bool("certify", false, "escalate passive verdicts through the certification pipeline (see doc)")
 	save := flag.String("save", "", "save the final model as JSON")
 	sweep := flag.Int("sweep", 1200, "sweep grid points for the model check")
 	seedPoints := flag.Int("seedpoints", 0, "adaptive method: coarse seed grid points (0 = library default)")
@@ -104,12 +115,12 @@ func main() {
 		fail(2, "-load weights only matter with -enforce")
 	}
 
-	chkBase := repro.CheckOptions{Method: checkMethod, SweepPoints: *sweep, AdaptiveSeedPoints: *seedPoints}
+	chkBase := repro.CheckOptions{Method: checkMethod, SweepPoints: *sweep, AdaptiveSeedPoints: *seedPoints, Certify: *certify}
 	if *batch != "" {
 		if flag.NArg() != 0 {
 			fail(2, "-batch takes no positional arguments (got %d)", flag.NArg())
 		}
-		runBatch(*batch, chkBase, *enforce, *workers, *saveDir, weight, *loadSpec, *weightOrder, *obsPort)
+		runBatch(*batch, chkBase, *enforce, *certify, *workers, *saveDir, weight, *loadSpec, *weightOrder, *obsPort)
 		return
 	}
 	if *loadSpec != "" {
@@ -166,7 +177,11 @@ func main() {
 	printReport(rep)
 
 	if !rep.Passive && *enforce {
-		enf, err := repro.EnforcePassivity(model, repro.EnforceOptions{Check: chkOpts, ClampD: true, Weight: weight})
+		// The enforcement engine certifies on convergence itself; the
+		// per-sweep checks stay on the fast method.
+		enfChk := chkOpts
+		enfChk.Certify = false
+		enf, err := repro.EnforcePassivity(model, repro.EnforceOptions{Check: enfChk, ClampD: true, Weight: weight, Certify: *certify})
 		if err != nil {
 			fail(2, "enforce: %v", err)
 		}
@@ -174,7 +189,12 @@ func main() {
 		if weight != nil {
 			cost = "sensitivity-weighted"
 		}
-		fmt.Printf("enforced in %d iterations (%s cost, D clamped: %v)\n", enf.Iterations, cost, enf.DClamped)
+		fmt.Printf("enforced in %d iterations (%s cost, D clamped: %v", enf.Iterations, cost, enf.DClamped)
+		if *certify {
+			fmt.Printf(", certified rescues: %d", enf.CertifiedRescues)
+		}
+		fmt.Println(")")
+		// enf.Final carries the certificate; printReport shows it.
 		rep = enf.Final
 		printReport(rep)
 	}
@@ -191,9 +211,10 @@ func main() {
 
 // runBatch processes a library of saved models: load every glob match,
 // check or enforce the whole set (optionally with a shared -weight or
-// per-model -load derived sensitivity weights), print per-model lines plus
-// aggregate stats, and exit with the library verdict.
-func runBatch(glob string, chkOpts repro.CheckOptions, enforce bool, workers int, saveDir string,
+// per-model -load derived sensitivity weights, and with -certify a
+// certification stage per model on its owning worker), print per-model
+// lines plus aggregate stats, and exit with the library verdict.
+func runBatch(glob string, chkOpts repro.CheckOptions, enforce, certify bool, workers int, saveDir string,
 	weight *repro.Weight, loadSpec string, weightOrder, obsPort int) {
 	paths, err := filepath.Glob(glob)
 	if err != nil {
@@ -252,8 +273,10 @@ func runBatch(glob string, chkOpts repro.CheckOptions, enforce bool, workers int
 		if weight != nil {
 			fmt.Printf("weighted enforcement: shared weight, order %d\n", weight.Order())
 		}
+		enfChk := chkOpts
+		enfChk.Certify = false // the engine certifies on convergence itself
 		rep, err := repro.EnforcePassivityBatch(models, repro.BatchEnforceOptions{
-			Enforce: repro.EnforceOptions{Check: chkOpts, ClampD: true, Weight: weight},
+			Enforce: repro.EnforceOptions{Check: enfChk, ClampD: true, Weight: weight, Certify: certify},
 			Weights: perModel,
 			Workers: workers,
 		})
@@ -267,8 +290,8 @@ func runBatch(glob string, chkOpts repro.CheckOptions, enforce bool, workers int
 				allPassive = false
 			default:
 				r := rep.Reports[i]
-				fmt.Printf("  %s: passive=%v iterations=%d σmax=%.6f\n",
-					p, r.Passive, r.Iterations, r.Final.MaxSigma)
+				fmt.Printf("  %s: passive=%v iterations=%d σmax=%.6f%s\n",
+					p, r.Passive, r.Iterations, r.Final.MaxSigma, certSummary(r.Certificate))
 				if !r.Passive {
 					allPassive = false
 				}
@@ -276,6 +299,10 @@ func runBatch(glob string, chkOpts repro.CheckOptions, enforce bool, workers int
 		}
 		fmt.Printf("batch summary: %d/%d passive, %d failed, %d total iterations, worst σ=%.6f\n",
 			rep.Passive, rep.Models, rep.Failed, rep.TotalIterations, rep.WorstSigma)
+		if certify {
+			fmt.Printf("batch certification: %d/%d certified, %d rescued convergences\n",
+				rep.Certified, rep.Models, rep.CertifiedRescues)
+		}
 	} else {
 		for i, p := range paths {
 			rep, err := repro.CheckPassivity(models[i], chkOpts)
@@ -284,8 +311,8 @@ func runBatch(glob string, chkOpts repro.CheckOptions, enforce bool, workers int
 				allPassive = false
 				continue
 			}
-			fmt.Printf("  %s: passive=%v σmax=%.6f at %.4g Hz (%d samples)\n",
-				p, rep.Passive, rep.MaxSigma, rep.MaxFreqHz, rep.Samples)
+			fmt.Printf("  %s: passive=%v σmax=%.6f at %.4g Hz (%d samples)%s\n",
+				p, rep.Passive, rep.MaxSigma, rep.MaxFreqHz, rep.Samples, certSummary(rep.Certificate))
 			if !rep.Passive {
 				allPassive = false
 			}
@@ -422,4 +449,36 @@ func printReport(rep *repro.PassivityReport) {
 		fmt.Printf("  violation %d: σ=%.6f at %.4g Hz, band [%.4g, %.4g] Hz\n",
 			i+1, v.SigmaPeak, v.FreqPeakHz, v.FreqLoHz, v.FreqHiHz)
 	}
+	printCertificate(rep.Certificate)
+}
+
+// printCertificate reports which pipeline stage settled the verdict and
+// what each stage spent (eigenproblem size, intervals certified, samples).
+func printCertificate(c *repro.PassivityCertificate) {
+	if c == nil {
+		return
+	}
+	fmt.Printf("certificate: stage=%s certified=%v (largest eigenproblem %d, %d axis intervals)\n",
+		c.Stage, c.Certified, c.EigenDim, c.Intervals)
+	for _, s := range c.Stages {
+		fmt.Printf("  stage %-22s certified %d intervals", s.Stage, s.Certified)
+		if s.Violations > 0 {
+			fmt.Printf(", proved %d violations", s.Violations)
+		}
+		if s.EigenDim > 0 {
+			fmt.Printf(", eigenproblem dim %d", s.EigenDim)
+		}
+		if s.Samples > 0 {
+			fmt.Printf(", %d σ samples", s.Samples)
+		}
+		fmt.Println()
+	}
+}
+
+// certSummary compresses a certificate into the per-model batch line.
+func certSummary(c *repro.PassivityCertificate) string {
+	if c == nil {
+		return ""
+	}
+	return fmt.Sprintf(" cert=%s/%v(dim %d)", c.Stage, c.Certified, c.EigenDim)
 }

@@ -59,6 +59,45 @@
 //	CheckAuto         Hamiltonian below the dimension threshold, adaptive
 //	                  above (the default).
 //
+// # Certification
+//
+// Every method except the Hamiltonian test only samples σ(ω), so a narrow
+// residual band can survive enforcement unseen — and the sensitivity-
+// weighted cost makes exactly such leftovers likelier, because perturbing
+// high-sensitivity bands is deliberately expensive. CheckOptions.Certify
+// and EnforceOptions.Certify escalate every passive verdict through a
+// staged certification pipeline that retires a partition of the whole
+// frequency axis interval by interval, cheapest certificate first:
+//
+//	tail-bound              closed-form pole-tail interval bound, zero σ
+//	                        evaluations; wins wherever the passivity
+//	                        headroom dwarfs the local pole mass.
+//	lipschitz               σ-anchored certified sweep: rigorous derivative
+//	                        bound around true σ samples (anchored on the
+//	                        enforcement run's own evaluation cache), so it
+//	                        inherits the residue phase cancellation the
+//	                        magnitude bound cannot see; wins across the
+//	                        pole band of large passive models.
+//	hamiltonian             the exact eigentest, one shot, for models
+//	                        within the dense eigensolve's reach.
+//	hamiltonian-restricted  level-γ eigentest on a reduced model per still-
+//	                        open interval, the level charged by the
+//	                        truncated far-pole tail; wins on large models
+//	                        whose undecided slivers are local.
+//	hamiltonian-probe       shift-and-invert eigenvalue probe near targeted
+//	                        frequencies — a best-effort detector beyond the
+//	                        eigensolve frontier, not a certificate.
+//
+// Inside EnforcePassivity the pipeline runs on every convergence of the
+// fast per-sweep check; violation bands it proves re-enter the loop as
+// constraints instead of terminating it, which turns the sampling false
+// pass into an impossible state whenever the rigorous stages cover the
+// axis — PassivityCertificate.Certified records whether they did, and a
+// false value marks a best-effort verdict. The final verdict carries a
+// PassivityCertificate naming the stage that settled it and its cost
+// (largest eigenproblem dimension, intervals, σ samples); passcheck
+// prints it with -certify.
+//
 // # Beyond the paper's figures
 //
 // The library also covers the paper's surrounding claims and baselines:

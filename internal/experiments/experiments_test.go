@@ -115,8 +115,8 @@ func TestExtensionsRunAndHoldShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 7 {
-		t.Fatalf("expected 7 extension experiments, got %d", len(results))
+	if len(results) != 8 {
+		t.Fatalf("expected 8 extension experiments, got %d", len(results))
 	}
 	for _, r := range results {
 		if len(r.Series) == 0 || len(r.Metrics) == 0 {
@@ -195,6 +195,21 @@ func TestExtensionsRunAndHoldShape(t *testing.T) {
 	}
 	if extG.Metrics["enforce_max_abs_s_dev"] > 1e-6 {
 		t.Fatalf("Ext-G: closed-cost and dense-cost enforcement disagree: %+v", extG.Metrics)
+	}
+
+	extH := results[7]
+	if extH.Metrics["escaped_certified"] != 0 {
+		t.Fatalf("Ext-H: certified enforcement let %v false passes escape: %+v",
+			extH.Metrics["escaped_certified"], extH.Metrics)
+	}
+	if extH.Metrics["escaped_uncertified"] == 0 {
+		t.Fatalf("Ext-H: the uncertified operating point produced no escapes — the experiment no longer measures anything: %+v", extH.Metrics)
+	}
+	if extH.Metrics["certified_models"] != extH.Metrics["library_size"] {
+		t.Fatalf("Ext-H: not every model came back with a full certificate: %+v", extH.Metrics)
+	}
+	if extH.Metrics["certified_rescues"] < extH.Metrics["escaped_uncertified"] {
+		t.Fatalf("Ext-H: fewer rescues than uncertified escapes — the pipeline is not catching the same bands: %+v", extH.Metrics)
 	}
 }
 

@@ -1,0 +1,200 @@
+package mat
+
+import (
+	"math"
+	"sort"
+)
+
+// ImagEigenProbe hunts for eigenvalues of a large real matrix M lying on
+// (or near) the imaginary axis close to a caller-supplied target jω,
+// without computing the full spectrum. It exists for the passivity
+// certifier: the Hamiltonian test matrix of a macromodel has dimension
+// N = 2·n·P, and the full Francis QR iteration behind EigenValues — ~40·N
+// sweeps of O(N²) each — caps the exact oracle near N ≈ 2000. The probe
+// pushes that frontier out: it forms M² once (a single O(N³) matrix
+// product, with a far smaller constant than the QR iteration) and then
+// answers each frequency query with one LU factorization plus a short
+// shift-and-invert Arnoldi recurrence.
+//
+// The reduction to real arithmetic: for a real matrix, λ² is real and
+// negative exactly when λ is purely imaginary and nonzero, so the
+// imaginary eigenvalues jω₀ of M are in one-to-one correspondence with
+// real eigenvalues −ω₀² of M². A complex shift jω therefore becomes the
+// real shift −ω² of M², and a real-arithmetic Krylov iteration applies.
+// The Arnoldi projection (rather than single-vector inverse iteration)
+// matters because the neighbourhood of a high-Q resonance is an
+// ill-conditioned cluster — the images of the poles themselves sit within
+// a few γ·ω of any crossing — and a subspace resolves the whole cluster
+// where one vector rattles between its members.
+//
+// The probe is a detector, not a certificate: a query only sees the
+// cluster nearest its shift, so a negative verdict near ω does not
+// exclude imaginary eigenvalues elsewhere, and every candidate it returns
+// should be confirmed against the underlying transfer function. The probe
+// is not safe for concurrent use.
+type ImagEigenProbe struct {
+	m2 *Matrix
+}
+
+// NewImagEigenProbe forms M² for the given square matrix (the only full
+// O(N³) step; each query costs one LU at worst).
+func NewImagEigenProbe(m *Matrix) *ImagEigenProbe {
+	if m.Rows != m.Cols {
+		panic("mat: ImagEigenProbe of non-square matrix")
+	}
+	n := m.Rows
+	m2 := NewMatrix(n, n)
+	MulInto(m2, m, m)
+	return &ImagEigenProbe{m2: m2}
+}
+
+// Dim returns the probe's matrix dimension N.
+func (p *ImagEigenProbe) Dim() int { return p.m2.Rows }
+
+// probeMaxCandidates bounds the candidates one query returns (the caller
+// pays a transfer-function confirmation per candidate).
+const probeMaxCandidates = 4
+
+// Candidates runs k steps (default 12) of shift-and-invert Arnoldi on M²
+// with shift −ω² and returns candidate crossing frequencies ω̂ = √(−μ)
+// for the Ritz values μ that are negative and near-real — consistent with
+// an imaginary eigenvalue jω̂ of M near the target jω. Candidates are
+// ordered by distance from the shift and capped; they are approximations
+// extracted from an unconverged subspace, so callers MUST confirm each
+// one independently (for the certifier: by sampling σ around ω̂).
+func (p *ImagEigenProbe) Candidates(omega float64, k int) ([]float64, error) {
+	n := p.m2.Rows
+	if k <= 0 {
+		k = 12
+	}
+	if k > n {
+		k = n
+	}
+	shift := -omega * omega
+	a := p.m2.Clone()
+	for i := 0; i < n; i++ {
+		a.Data[i*n+i] -= shift
+	}
+	lu, err := LUFactor(a)
+	if err != nil {
+		// Singular shift: −ω² is (numerically) an eigenvalue of M² itself.
+		return []float64{omega}, nil
+	}
+	// Arnoldi on (M² − shift·I)⁻¹ with modified Gram–Schmidt.
+	v := make([][]float64, 1, k+1)
+	v[0] = make([]float64, n)
+	for i := range v[0] {
+		v[0][i] = 1 + float64(i%7)/8
+	}
+	normalize(v[0])
+	h := NewMatrix(k+1, k)
+	steps := 0
+	for j := 0; j < k; j++ {
+		w := lu.SolveVec(v[j])
+		for i := 0; i <= j; i++ {
+			hij := dot(v[i], w)
+			h.Set(i, j, hij)
+			axpy(w, v[i], -hij)
+		}
+		nrm := math.Sqrt(dot(w, w))
+		h.Set(j+1, j, nrm)
+		steps = j + 1
+		if nrm < 1e-14 {
+			break // invariant subspace found
+		}
+		for i := range w {
+			w[i] /= nrm
+		}
+		v = append(v, w)
+	}
+	// Ritz values of the projected operator: eigenvalues θ of H[0:m,0:m]
+	// map back to μ = 1/θ + shift.
+	hm := NewMatrix(steps, steps)
+	for i := 0; i < steps; i++ {
+		for j := 0; j < steps; j++ {
+			hm.Set(i, j, h.At(i, j))
+		}
+	}
+	theta, err := EigenValues(hm)
+	if err != nil {
+		return nil, err
+	}
+	var mus []float64
+	for _, th := range theta {
+		den := real(th)*real(th) + imag(th)*imag(th)
+		if den == 0 {
+			continue
+		}
+		// 1/θ for complex θ.
+		mu := complex(real(th)/den, -imag(th)/den) + complex(shift, 0)
+		scale := math.Abs(real(mu)) + omega*omega
+		if scale == 0 {
+			scale = 1
+		}
+		if real(mu) < 0 && math.Abs(imag(mu)) <= 1e-3*scale {
+			mus = append(mus, real(mu))
+		}
+	}
+	sort.Slice(mus, func(a, b int) bool {
+		da, db := math.Abs(mus[a]-shift), math.Abs(mus[b]-shift)
+		if da != db {
+			return da < db
+		}
+		return mus[a] < mus[b]
+	})
+	if len(mus) > probeMaxCandidates {
+		mus = mus[:probeMaxCandidates]
+	}
+	out := make([]float64, 0, len(mus))
+	for _, mu := range mus {
+		w := math.Sqrt(-mu)
+		dup := false
+		for _, prev := range out {
+			if math.Abs(w-prev) <= 1e-9*(1+prev) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, w)
+		}
+	}
+	return out, nil
+}
+
+// NearestCrossing probes for a (near-)imaginary eigenvalue of M close to
+// jω and returns the best candidate frequency, or ok=false when the
+// cluster nearest the shift holds nothing consistent with the imaginary
+// axis. See Candidates for the confirmation obligation.
+func (p *ImagEigenProbe) NearestCrossing(omega float64, k int) (float64, bool, error) {
+	cand, err := p.Candidates(omega, k)
+	if err != nil || len(cand) == 0 {
+		return 0, false, err
+	}
+	return cand[0], true, nil
+}
+
+func normalize(v []float64) float64 {
+	s := math.Sqrt(dot(v, v))
+	if s == 0 {
+		return 0
+	}
+	for i := range v {
+		v[i] /= s
+	}
+	return s
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func axpy(y, x []float64, alpha float64) {
+	for i := range y {
+		y[i] += alpha * x[i]
+	}
+}

@@ -1,0 +1,90 @@
+package mat
+
+import (
+	"math"
+	"testing"
+)
+
+// probeTestMatrix builds a block-diagonal matrix with prescribed imaginary
+// eigenvalue pairs ±jw (2×2 rotation generators) and real eigenvalues, then
+// hides the structure under an orthogonal similarity so the probe cannot
+// exploit sparsity.
+func probeTestMatrix(imagEigs []float64, realEigs []float64) *Matrix {
+	n := 2*len(imagEigs) + len(realEigs)
+	a := NewMatrix(n, n)
+	k := 0
+	for _, w := range imagEigs {
+		a.Set(k, k+1, w)
+		a.Set(k+1, k, -w)
+		k += 2
+	}
+	for _, r := range realEigs {
+		a.Set(k, k, r)
+		k++
+	}
+	// Similarity by a product of Givens rotations (deterministic angles).
+	for i := 0; i+1 < n; i++ {
+		c, s := math.Cos(0.3+0.1*float64(i)), math.Sin(0.3+0.1*float64(i))
+		for j := 0; j < n; j++ {
+			x, y := a.At(i, j), a.At(i+1, j)
+			a.Set(i, j, c*x-s*y)
+			a.Set(i+1, j, s*x+c*y)
+		}
+		for j := 0; j < n; j++ {
+			x, y := a.At(j, i), a.At(j, i+1)
+			a.Set(j, i, c*x-s*y)
+			a.Set(j, i+1, s*x+c*y)
+		}
+	}
+	return a
+}
+
+func TestImagEigenProbeFindsCrossing(t *testing.T) {
+	m := probeTestMatrix([]float64{3.0, 40.0}, []float64{-1, -2, 5, -7, 11})
+	probe := NewImagEigenProbe(m)
+	for _, tc := range []struct {
+		target, want float64
+	}{
+		{2.5, 3.0},
+		{3.4, 3.0},
+		{37, 40.0},
+	} {
+		got, ok, err := probe.NearestCrossing(tc.target, 0)
+		if err != nil {
+			t.Fatalf("NearestCrossing(%g): %v", tc.target, err)
+		}
+		if !ok {
+			t.Fatalf("NearestCrossing(%g): no imaginary eigenvalue found, want %g", tc.target, tc.want)
+		}
+		if math.Abs(got-tc.want) > 1e-6*tc.want {
+			t.Fatalf("NearestCrossing(%g) = %.12g, want %.12g", tc.target, got, tc.want)
+		}
+	}
+}
+
+func TestImagEigenProbeRejectsRealSpectrum(t *testing.T) {
+	// No imaginary eigenvalues at all: every probe must come back negative.
+	m := probeTestMatrix(nil, []float64{-1, -2, 3, 5, -7, 11, 13})
+	probe := NewImagEigenProbe(m)
+	for _, target := range []float64{0.5, 3, 10} {
+		if w, ok, err := probe.NearestCrossing(target, 0); err != nil {
+			t.Fatalf("NearestCrossing(%g): %v", target, err)
+		} else if ok {
+			t.Fatalf("NearestCrossing(%g) claimed an imaginary eigenvalue at %g on a real-spectrum matrix", target, w)
+		}
+	}
+}
+
+func TestImagEigenProbeExactShift(t *testing.T) {
+	// Shift landing exactly on an eigenvalue makes M²+ω²I singular; the
+	// probe must report the crossing rather than fail.
+	m := probeTestMatrix([]float64{2.0}, []float64{-3, 4})
+	probe := NewImagEigenProbe(m)
+	w, ok, err := probe.NearestCrossing(2.0, 0)
+	if err != nil || !ok {
+		t.Fatalf("NearestCrossing(2.0) = (%g, %v, %v), want exact hit", w, ok, err)
+	}
+	if math.Abs(w-2.0) > 1e-8 {
+		t.Fatalf("NearestCrossing(2.0) = %.12g, want 2", w)
+	}
+}

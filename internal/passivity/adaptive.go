@@ -32,29 +32,37 @@ type poleFeature struct {
 	peakGain float64
 }
 
+// poleFeatureOf builds the feature of pole k (shared by the adaptive
+// characterizer and the certification pipeline, which needs the features
+// index-aligned with the pole list).
+func poleFeatureOf(model *rational.Model, k int, ws *checkWorkspace) poleFeature {
+	p := model.Poles[k]
+	gamma := math.Abs(real(p))
+	if gamma == 0 {
+		// Marginally stable pole: keep the feature finite so the scale
+		// and bound arithmetic stays well defined.
+		gamma = 1e-12 * (1 + math.Abs(imag(p)))
+	}
+	ws.sv = mat.SingularValuesInto(&ws.svd, model.Residues[k], ws.sv)
+	rn := 0.0
+	if len(ws.sv) > 0 {
+		rn = ws.sv[0]
+	}
+	return poleFeature{
+		wr:       math.Abs(imag(p)),
+		gamma:    gamma,
+		rnorm:    rn,
+		peakGain: rn / gamma,
+	}
+}
+
 // poleFeatures builds the per-pole features, sorted ascending by resonance
 // frequency so the split criteria can binary-search the neighbourhood of an
 // interval instead of scanning every pole.
 func poleFeatures(model *rational.Model, ws *checkWorkspace) []poleFeature {
 	feats := make([]poleFeature, 0, len(model.Poles))
-	for k, p := range model.Poles {
-		gamma := math.Abs(real(p))
-		if gamma == 0 {
-			// Marginally stable pole: keep the feature finite so the scale
-			// and bound arithmetic stays well defined.
-			gamma = 1e-12 * (1 + math.Abs(imag(p)))
-		}
-		ws.sv = mat.SingularValuesInto(&ws.svd, model.Residues[k], ws.sv)
-		rn := 0.0
-		if len(ws.sv) > 0 {
-			rn = ws.sv[0]
-		}
-		feats = append(feats, poleFeature{
-			wr:       math.Abs(imag(p)),
-			gamma:    gamma,
-			rnorm:    rn,
-			peakGain: rn / gamma,
-		})
+	for k := range model.Poles {
+		feats = append(feats, poleFeatureOf(model, k, ws))
 	}
 	sort.Slice(feats, func(a, b int) bool { return feats[a].wr < feats[b].wr })
 	return feats
@@ -76,6 +84,7 @@ type adaptiveState struct {
 	model  *rational.Model
 	feats  []poleFeature // sorted ascending by wr
 	wrs    []float64     // feats[i].wr, for binary search
+	scan   *boundScanner // outward-scanning interval bounds over feats
 	dSigma float64
 	limit  float64
 	relTol float64
@@ -93,36 +102,19 @@ func (a *adaptiveState) setGrid(grid, sv []float64) {
 	for i, w := range grid {
 		a.lg[i] = math.Log(w)
 	}
-	a.cert = make([]int8, maxInt(len(grid)-1, 0))
+	a.cert = make([]int8, max(len(grid)-1, 0))
 }
 
-// tailBound is a rigorous interval bound: for every ω in [w0, w1]
-//
-//	σ(S(jω)) ≤ σ(D) + Σ_k ‖R_k‖₂/|jω − p_k| ≤ σ(D) + Σ_k ‖R_k‖₂/hypot(γ_k, d_k)
-//
-// with d_k the frequency distance from the interval to the pole's
-// resonance. Intervals whose bound stays at or below the limit cannot host
-// a violation and are pruned from refinement. The sum short-circuits once
-// it exceeds the limit — callers only use the comparison.
+// tailBound is a rigorous interval bound on σ over [w0, w1]: the tightened
+// interaction-aware form shared with the certification pipeline (see
+// boundScanner.tailBound in certify.go — far-pole terms are convex over
+// the interval, so their sum is evaluated at the endpoints instead of
+// summing per-term suprema attained at different frequencies). Intervals
+// whose bound stays at or below the limit cannot host a violation and are
+// pruned from refinement; the outward scan exits early in both directions
+// — callers only use the comparison.
 func (a *adaptiveState) tailBound(w0, w1 float64) float64 {
-	sum := a.dSigma
-	for i := range a.feats {
-		f := &a.feats[i]
-		d := 0.0
-		if f.wr < w0 {
-			d = w0 - f.wr
-		} else if f.wr > w1 {
-			d = f.wr - w1
-		}
-		// sqrt(γ²+d²) instead of Hypot: the bound only feeds a comparison
-		// against the limit, both arguments are frequencies far from the
-		// float range edges, and Hypot's extra care costs ~4× here.
-		sum += f.rnorm / math.Sqrt(f.gamma*f.gamma+d*d)
-		if sum > a.limit {
-			break
-		}
-	}
-	return sum
+	return a.scan.tailBound(a.dSigma, a.limit, w0, w1)
 }
 
 // localScale returns the variation scale of σ over [w0, w1] — the smallest
@@ -330,10 +322,8 @@ func checkAdaptive(model *rational.Model, opts CheckOptions) (*Report, error) {
 		limit:  1 + opts.Tol,
 		relTol: opts.AdaptiveRelTol,
 	}
-	st.wrs = make([]float64, len(st.feats))
-	for i, f := range st.feats {
-		st.wrs[i] = f.wr
-	}
+	st.scan = newBoundScanner(st.feats)
+	st.wrs = st.scan.wrs
 
 	// Stage 0: coarse log seed grid with every pole resonance and its
 	// half-width neighbours (shared with the fixed sweep), plus warm-start

@@ -59,6 +59,13 @@ type BatchStats struct {
 	TotalIterations int     // enforcement sweeps summed over all models
 	TotalSamples    int     // σ grid evaluations of the final checks
 	WorstSigma      float64 // largest final σ_max across models
+	// Certified counts models whose final certificate covers the whole
+	// axis (Certificate.Certified); zero when certification is off.
+	Certified int
+	// CertifiedRescues sums the convergences across the library where the
+	// fast check passed but the certification pipeline proved a residual
+	// violation that re-entered the enforcement loop.
+	CertifiedRescues int
 }
 
 // BatchReport is the outcome of EnforceBatch, index-aligned with the input
@@ -80,6 +87,12 @@ type BatchReport struct {
 // bitwise identical to the sequential sensitivity-weighted run (the
 // per-model cost Gramian comes from the same closed-form
 // rational.CascadeGramian in both paths).
+//
+// With Enforce.Certify set, each model's convergences escalate through the
+// certification pipeline on the worker goroutine that owns the model —
+// its eigensolves, reduced models and probes touch only per-model state,
+// so certified batch results remain bitwise identical to sequential
+// certified runs at every worker count.
 //
 // Inside a sharded run the per-check worker fan-out is forced serial
 // (Check results are worker-count independent, so this changes nothing but
@@ -144,8 +157,12 @@ func EnforceBatch(models []*rational.Model, opts BatchOptions) *BatchReport {
 			continue
 		}
 		st.TotalIterations += r.Report.Iterations
+		st.CertifiedRescues += r.Report.CertifiedRescues
 		if r.Report.Passive {
 			st.Passive++
+		}
+		if c := r.Report.Certificate; c != nil && c.Certified {
+			st.Certified++
 		}
 		if f := r.Report.Final; f != nil {
 			st.TotalSamples += f.Samples

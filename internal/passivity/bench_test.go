@@ -61,6 +61,46 @@ func BenchmarkEnforceSmall(b *testing.B) {
 	}
 }
 
+// BenchmarkCertify measures what the post-convergence certificate adds to
+// an enforcement run whose model is already truly passive — the steady
+// state of a library service, where certification must be nearly free. At
+// nP = 500/1000 (N = 2·n·P ≥ 2000) the pipeline runs tail-bound interval
+// certificates with restricted Hamiltonian escalation, never the full
+// eigensolve. Compare certify=false (the PR 3 engine) with certify=true;
+// the BENCH_4.json acceptance line is <15% wall-clock overhead.
+func BenchmarkCertify(b *testing.B) {
+	for _, np := range []int{500, 1000} {
+		for _, certify := range []bool{false, true} {
+			b.Run(fmt.Sprintf("nP=%d/certify=%v", np, certify), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					m, err := SyntheticModel(SyntheticOptions{
+						Ports: 2, Poles: np / 2, Seed: 17, PeakGain: 0.08, DSigma: 0.75,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+					rep, err := Enforce(m, EnforceOptions{
+						Check:   CheckOptions{Method: MethodAdaptive},
+						Certify: certify,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !rep.Passive {
+						b.Fatal("model unexpectedly non-passive")
+					}
+					if certify && (rep.Certificate == nil || !rep.Certificate.Certified) {
+						b.Fatalf("certification incomplete: %+v", rep.Certificate)
+					}
+				}
+			})
+		}
+	}
+}
+
 // benchBatchLibrary builds the 32-model library of the batch benchmark:
 // deterministic violating models of mixed sizes.
 func benchBatchLibrary(b *testing.B) []*rational.Model {

@@ -2,6 +2,7 @@ package passivity
 
 import (
 	"runtime"
+	"sort"
 
 	"repro/internal/parallel"
 	"repro/internal/rational"
@@ -98,6 +99,22 @@ func (c *EvalCache) Hot() []float64 { return c.hot }
 
 // BasisEntries returns the number of resident basis vectors.
 func (c *EvalCache) BasisEntries() int { return len(c.basis) }
+
+// sigmaFreqsSorted returns the frequencies resident in the σ layer in
+// ascending order (nil for a nil cache). The certification sweep anchors
+// on them: their evaluations are already paid for, and inside Enforce they
+// sit exactly where the adaptive sweeps found the response interesting.
+func (c *EvalCache) sigmaFreqsSorted() []float64 {
+	if c == nil || len(c.sigma) == 0 {
+		return nil
+	}
+	out := make([]float64, 0, len(c.sigma))
+	for w := range c.sigma {
+		out = append(out, w)
+	}
+	sort.Float64s(out)
+	return out
+}
 
 func (c *EvalCache) cap() int {
 	if c.MaxEntries > 0 {

@@ -45,6 +45,27 @@ const (
 //	             |                          | Enforce via the EvalCache.
 //	Auto         | —                        | Hamiltonian below
 //	             |                          | HamiltonianMaxDim, Adaptive above.
+//
+// All methods except Hamiltonian only ever sample σ(ω) and can therefore
+// step over a residual band. CheckOptions.Certify escalates a passive
+// verdict through the staged certification pipeline (certify.go), whose
+// stages win in different regimes:
+//
+//	Stage                  | Cost                   | Wins when
+//	-----------------------+------------------------+--------------------------
+//	tail-bound             | O(intervals·n), no σ   | headroom 1−σ(D) is ample
+//	                       | evaluations            | away from resonances —
+//	                       |                        | retires most of the axis.
+//	hamiltonian            | O(N³) eigensolve       | N ≲ CertifyOptions.MaxDim:
+//	                       |                        | exact, one shot.
+//	hamiltonian-restricted | Σ O((2·n_near·P)³)     | large N, local violations:
+//	                       | per open interval      | level-γ test on reduced
+//	                       |                        | models, γ charged by the
+//	                       |                        | truncated far-pole tail.
+//	hamiltonian-probe      | O(N³) once (M²) +      | N beyond RestrictedMaxDim
+//	                       | O(N³)/3 LU per target  | fitting: best-effort
+//	                       |                        | detector, not a
+//	                       |                        | certificate.
 
 // CheckOptions configures a passivity check.
 type CheckOptions struct {
@@ -75,6 +96,17 @@ type CheckOptions struct {
 	// AdaptiveMaxSamples caps the σ evaluations the adaptive refinement
 	// stages may spend beyond the mandatory seed grid (default 20000).
 	AdaptiveMaxSamples int
+	// Certify escalates a passive verdict through the staged certification
+	// pipeline (see Certify and DefaultPipeline): tail-bound interval
+	// certificates first, then an exact or restricted Hamiltonian
+	// eigentest. Violations the pipeline proves are appended to the report
+	// and flip Passive; the pipeline's verdict and cost land in
+	// Report.Certificate. Enforce manages its own certification — it runs
+	// the fast method every sweep and escalates only on convergence — so
+	// this flag matters for standalone checks.
+	Certify bool
+	// CertifyOpts tunes the certification pipeline (zero value = defaults).
+	CertifyOpts CertifyOptions
 	// Cache, when non-nil, memoizes per-frequency evaluations across
 	// checks of the same pole set (see EvalCache). Enforce installs one
 	// automatically. Not safe for concurrent checks.
@@ -106,6 +138,11 @@ type Report struct {
 	// Samples counts the σ(ω) grid evaluations spent (sweep and adaptive
 	// methods; golden-section peak polishing excluded).
 	Samples int
+	// Certificate records the certification pipeline's verdict and cost.
+	// It is nil unless certification ran: CheckOptions.Certify set and the
+	// method-level check reported passive (a method-level violation needs
+	// no certificate — the model is exactly known to be non-passive).
+	Certificate *Certificate
 }
 
 func (o *CheckOptions) defaults(model *rational.Model) {
@@ -187,7 +224,52 @@ func Check(model *rational.Model, opts CheckOptions) (*Report, error) {
 	if dSigma > 1+opts.Tol {
 		rep.Passive = false
 	}
+	if opts.Certify && rep.Passive {
+		if err := certifyReport(model, rep, method, opts); err != nil {
+			return nil, err
+		}
+	}
 	return rep, nil
+}
+
+// certifyReport escalates a passive method-level verdict through the
+// certification pipeline and folds the outcome into the report. A
+// Hamiltonian method pass is already exact, so it certifies itself without
+// a second eigensolve.
+func certifyReport(model *rational.Model, rep *Report, method Method, opts CheckOptions) error {
+	if method == MethodHamiltonian {
+		dim := 2 * model.NumPoles() * model.Ports()
+		rep.Certificate = &Certificate{
+			Certified: true,
+			Stage:     StageHamiltonian,
+			EigenDim:  dim,
+			Stages:    []StageCost{{Stage: StageHamiltonian, EigenDim: dim}},
+		}
+		return nil
+	}
+	cert, err := Certify(model, opts, opts.CertifyOpts)
+	if err != nil {
+		return err
+	}
+	rep.Certificate = cert
+	if len(cert.Violations) > 0 {
+		mergeCertified(rep, cert)
+	}
+	return nil
+}
+
+// mergeCertified folds pipeline-proven violations into a report: appended
+// to the violation list, reflected in the maximum, and flipping the
+// verdict. Shared by the standalone check and the enforcement engine so
+// the two paths cannot drift.
+func mergeCertified(rep *Report, cert *Certificate) {
+	rep.Passive = false
+	for _, v := range cert.Violations {
+		rep.Violations = append(rep.Violations, v)
+		if v.SigmaPeak > rep.MaxSigma {
+			rep.MaxSigma, rep.MaxOmega = v.SigmaPeak, v.OmegaPeak
+		}
+	}
 }
 
 // sigmaMax evaluates the largest singular value of S(jω) exactly via
@@ -388,8 +470,8 @@ func assembleReport(model *rational.Model, grid, sv []float64, opts CheckOptions
 				peakIdx = k
 			}
 		}
-		bl := grid[maxInt(peakIdx-1, 0)]
-		bh := grid[minInt(peakIdx+1, len(grid)-1)]
+		bl := grid[max(peakIdx-1, 0)]
+		bh := grid[min(peakIdx+1, len(grid)-1)]
 		if bl <= 0 {
 			bl = grid[1] / 10
 		}
@@ -422,18 +504,4 @@ func interpCrossing(w0, s0, w1, s1 float64) float64 {
 		t = 1
 	}
 	return w0 + t*(w1-w0)
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -41,6 +41,16 @@ type EnforceOptions struct {
 	// asymptotically (σmax(D) ≥ 1). Residue perturbation cannot repair D,
 	// so without this flag such models are rejected.
 	ClampD bool
+	// Certify escalates every convergence of the fast per-sweep check
+	// through the staged certification pipeline (certify.go). Violation
+	// bands the pipeline proves re-enter the loop as constraints instead
+	// of being declared passive, which makes the known adaptive false-pass
+	// (a residual band the sampling stepped over) an impossible state by
+	// construction. The per-sweep checks themselves stay on the fast
+	// method; certification runs only when they report passive.
+	Certify bool
+	// CertifyOpts tunes the certification pipeline (zero value = defaults).
+	CertifyOpts CertifyOptions
 }
 
 // IterationStats records one enforcement sweep.
@@ -60,6 +70,19 @@ type EnforceReport struct {
 	// passivity boundary before the perturbation loop (see
 	// EnforceOptions.ClampD).
 	DClamped bool
+	// Certificate is the last certification-pipeline verdict (nil unless
+	// EnforceOptions.Certify). When Passive is true it describes how the
+	// final model was certified. A Certificate with Certified false and no
+	// Violations means the rigorous stages could not cover the whole axis
+	// (its Open intervals outgrew the restricted stage's reduction
+	// capacity or the probe dimension cap); Enforce still reports Passive
+	// on the fast check's word, so callers needing a hard guarantee must
+	// check Certificate.Certified.
+	Certificate *Certificate
+	// CertifiedRescues counts convergences where the fast check reported
+	// passive but the pipeline proved a residual violation that re-entered
+	// the loop — each one is a false pass the refactor turned into work.
+	CertifiedRescues int
 }
 
 // ErrEnforceFailed is wrapped when the loop exhausts its iterations.
@@ -80,6 +103,13 @@ type constraint struct {
 // iterative residue-perturbation scheme, minimizing the Gramian-weighted
 // perturbation norm subject to σ_i(jω_ν) + δσ_i ≤ 1 − Margin. The model's
 // poles and D are untouched; only residues move.
+//
+// Enforce is an iteration engine over a two-speed detection stack: every
+// sweep runs the fast configured check (opts.Check), and — with
+// opts.Certify — each convergence escalates through the certification
+// pipeline, whose proven violation bands re-enter the loop as constraints
+// (seeding the evaluation cache so the fast stage tracks them from then
+// on) instead of terminating it.
 func Enforce(model *rational.Model, opts EnforceOptions) (*EnforceReport, error) {
 	if opts.MaxIterations <= 0 {
 		opts.MaxIterations = 40
@@ -130,6 +160,9 @@ func Enforce(model *rational.Model, opts EnforceOptions) (*EnforceReport, error)
 		// allocation-free.
 		opts.Check.work = newWorkspacePool()
 	}
+	// Certification is driven by the engine, not the per-sweep check: the
+	// fast method runs every sweep and the pipeline only on convergence.
+	opts.Check.Certify = false
 
 	for iter := 0; iter < opts.MaxIterations; iter++ {
 		chk, err := Check(model, opts.Check)
@@ -138,9 +171,17 @@ func Enforce(model *rational.Model, opts EnforceOptions) (*EnforceReport, error)
 		}
 		rep.Final = chk
 		if chk.Passive {
-			rep.Passive = true
-			rep.Iterations = iter
-			return rep, nil
+			done, cerr := escalateConverged(model, &opts, rep, chk, true)
+			if cerr != nil {
+				return nil, cerr
+			}
+			if done {
+				rep.Passive = true
+				rep.Iterations = iter
+				return rep, nil
+			}
+			// The pipeline proved residual violations; they are now merged
+			// into chk and constrain this sweep like any sampled band.
 		}
 		cons, err := buildConstraints(model, chk, opts, chol)
 		if err != nil {
@@ -169,10 +210,60 @@ func Enforce(model *rational.Model, opts EnforceOptions) (*EnforceReport, error)
 	}
 	rep.Final = chk
 	rep.Passive = chk.Passive
+	if rep.Passive {
+		// The iteration budget is spent: violations the pipeline proves
+		// here cannot re-enter the loop, so this is a verdict, not a
+		// rescue.
+		done, cerr := escalateConverged(model, &opts, rep, chk, false)
+		if cerr != nil {
+			return nil, cerr
+		}
+		rep.Passive = done
+	}
 	if !rep.Passive {
 		return rep, fmt.Errorf("%w after %d iterations (σmax=%g)", ErrEnforceFailed, opts.MaxIterations, chk.MaxSigma)
 	}
 	return rep, nil
+}
+
+// escalateConverged runs the certification pipeline on a model the fast
+// check declared passive. It returns true when the verdict stands (no
+// certification requested, or the pipeline proved no violation). Proven
+// violations are merged into chk — flipping its verdict and updating its
+// maximum. With resume set (the loop still has iterations), the catch
+// counts as a rescue and the band geometry is pushed into the evaluation
+// cache's hot set so the next fast sweep samples the band instead of
+// stepping over it again; without it (iteration budget spent) the merge
+// only documents why the run fails.
+func escalateConverged(model *rational.Model, opts *EnforceOptions, rep *EnforceReport, chk *Report, resume bool) (bool, error) {
+	if !opts.Certify {
+		return true, nil
+	}
+	cert, err := Certify(model, opts.Check, opts.CertifyOpts)
+	if err != nil {
+		return false, err
+	}
+	rep.Certificate = cert
+	chk.Certificate = cert
+	if len(cert.Violations) == 0 {
+		return true, nil
+	}
+	mergeCertified(chk, cert)
+	if resume {
+		rep.CertifiedRescues++
+		hot := append([]float64(nil), opts.Check.Cache.Hot()...)
+		for _, v := range cert.Violations {
+			if v.OmegaLo > 0 && !math.IsInf(v.OmegaLo, 1) {
+				hot = append(hot, v.OmegaLo)
+			}
+			hot = append(hot, v.OmegaPeak)
+			if v.OmegaHi > 0 && !math.IsInf(v.OmegaHi, 1) {
+				hot = append(hot, v.OmegaHi)
+			}
+		}
+		opts.Check.Cache.SetHot(hot)
+	}
+	return false, nil
 }
 
 // StandardGramian returns the controllability Gramian P₁ of the common-pole

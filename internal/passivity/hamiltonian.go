@@ -31,28 +31,43 @@ var ErrAsymptoticViolation = errors.New("passivity: σmax(D) ≥ 1, not repairab
 // with R = DᵀD − I and Q = DDᵀ − I. S(jω₀) has a unit singular value iff
 // jω₀ is an eigenvalue of M (Grivet-Talocia 2004).
 func HamiltonianMatrix(a, b, c, d *mat.Matrix) (*mat.Matrix, error) {
+	return HamiltonianMatrixLevel(a, b, c, d, 1)
+}
+
+// HamiltonianMatrixLevel builds the level-γ Hamiltonian (Bruinsma–
+// Steinbuch): with R = DᵀD − γ²I and Q = DDᵀ − γ²I,
+//
+//	M_γ = | A − B·R⁻¹·Dᵀ·C       −B·R⁻¹·Bᵀ          |
+//	      | γ²·Cᵀ·Q⁻¹·C          −Aᵀ + Cᵀ·D·R⁻¹·Bᵀ  |
+//
+// so that σ(S(jω₀)) = γ iff jω₀ is an eigenvalue of M_γ. γ = 1 recovers
+// the passivity test; the certifier uses γ < 1 to verify that a reduced
+// model stays below a level tightened by the truncated far-pole tail. γ
+// must not be a singular value of D.
+func HamiltonianMatrixLevel(a, b, c, d *mat.Matrix, gamma float64) (*mat.Matrix, error) {
 	n := a.Rows
+	g2 := gamma * gamma
 	r := d.T().Mul(d)
 	q := d.Mul(d.T())
 	for i := 0; i < r.Rows; i++ {
-		r.Set(i, i, r.At(i, i)-1)
+		r.Set(i, i, r.At(i, i)-g2)
 	}
 	for i := 0; i < q.Rows; i++ {
-		q.Set(i, i, q.At(i, i)-1)
+		q.Set(i, i, q.At(i, i)-g2)
 	}
 	rInv, err := mat.Inverse(r)
 	if err != nil {
-		return nil, fmt.Errorf("passivity: DᵀD−I singular (σ(D)=1): %w", err)
+		return nil, fmt.Errorf("passivity: DᵀD−γ²I singular (σ(D)=γ=%g): %w", gamma, err)
 	}
 	qInv, err := mat.Inverse(q)
 	if err != nil {
-		return nil, fmt.Errorf("passivity: DDᵀ−I singular (σ(D)=1): %w", err)
+		return nil, fmt.Errorf("passivity: DDᵀ−γ²I singular (σ(D)=γ=%g): %w", gamma, err)
 	}
 	brd := b.Mul(rInv).Mul(d.T()) // B R⁻¹ Dᵀ
 	m := mat.NewMatrix(2*n, 2*n)
 	m.SetSlice(0, 0, a.Sub(brd.Mul(c)))
 	m.SetSlice(0, n, b.Mul(rInv).Mul(b.T()).Scale(-1))
-	m.SetSlice(n, 0, c.T().Mul(qInv).Mul(c))
+	m.SetSlice(n, 0, c.T().Mul(qInv).Mul(c).Scale(g2))
 	m.SetSlice(n, n, a.T().Scale(-1).Add(c.T().Mul(d).Mul(rInv).Mul(b.T())))
 	return m, nil
 }
@@ -62,8 +77,15 @@ func HamiltonianMatrix(a, b, c, d *mat.Matrix) (*mat.Matrix, error) {
 // imaginary eigenvalues of the Hamiltonian matrix. An empty result together
 // with σmax(D) < 1 and a sub-unit spot check certifies passivity.
 func HamiltonianCrossings(model *rational.Model) ([]float64, error) {
+	return HamiltonianCrossingsLevel(model, 1)
+}
+
+// HamiltonianCrossingsLevel returns the frequencies ω ≥ 0 (rad/s) at which
+// some singular value of the model's scattering matrix crosses the level γ
+// (see HamiltonianMatrixLevel).
+func HamiltonianCrossingsLevel(model *rational.Model, gamma float64) ([]float64, error) {
 	sys := model.Realization()
-	h, err := HamiltonianMatrix(sys.A, sys.B, sys.C, sys.D)
+	h, err := HamiltonianMatrixLevel(sys.A, sys.B, sys.C, sys.D, gamma)
 	if err != nil {
 		return nil, err
 	}

@@ -29,6 +29,41 @@ type PassivityReport struct {
 	// Samples counts the σ grid evaluations spent (sweep and adaptive
 	// methods).
 	Samples int
+	// Certificate records the certification pipeline's verdict and cost
+	// (nil unless certification ran — CheckOptions.Certify or
+	// EnforceOptions.Certify — and the method-level check passed).
+	Certificate *PassivityCertificate
+}
+
+// CertificateStage is the per-stage cost accounting of a certification
+// run: which pipeline stage ran, how many frequency intervals it certified
+// passive, the largest eigenproblem it solved (0 when it solved none) and
+// the direct σ evaluations it spent.
+type CertificateStage struct {
+	Stage      string
+	Certified  int
+	Violations int
+	EigenDim   int
+	Samples    int
+}
+
+// PassivityCertificate is the outcome of the staged certification
+// pipeline: a partition of the whole frequency axis retired interval by
+// interval with rigorous certificates (closed-form tail bounds, exact or
+// restricted Hamiltonian eigentests). Certified reports full coverage;
+// Stage names the stage that settled the verdict. When Certified is false
+// on a passive report, the rigorous stages could not cover the whole axis
+// (some interval outgrew the restricted eigentest's reduction capacity or
+// the probe dimension cap) and the passive verdict is best-effort —
+// callers needing a hard guarantee must check Certified.
+type PassivityCertificate struct {
+	Certified bool
+	Stage     string
+	// EigenDim is the largest eigenproblem dimension solved overall.
+	EigenDim int
+	// Intervals is the size of the initial axis partition.
+	Intervals int
+	Stages    []CertificateStage
 }
 
 // CheckMethod selects the passivity detection algorithm. See the decision
@@ -74,6 +109,13 @@ type CheckOptions struct {
 	// AdaptiveMaxSamples caps the adaptive refinement's σ evaluations
 	// beyond the seed grid (0 = default 20000).
 	AdaptiveMaxSamples int
+	// Certify escalates a passive verdict through the staged certification
+	// pipeline — closed-form tail-bound interval certificates, then an
+	// exact or restricted-band Hamiltonian eigentest — so that "no
+	// violation was sampled" becomes "no violation exists". Violations the
+	// pipeline proves are appended to the report and flip Passive; the
+	// verdict and its cost land in PassivityReport.Certificate.
+	Certify bool
 }
 
 func (o CheckOptions) internal() passivity.CheckOptions {
@@ -85,6 +127,7 @@ func (o CheckOptions) internal() passivity.CheckOptions {
 		AdaptiveSeedPoints: o.AdaptiveSeedPoints,
 		AdaptiveRelTol:     o.AdaptiveRelTol,
 		AdaptiveMaxSamples: o.AdaptiveMaxSamples,
+		Certify:            o.Certify,
 	}
 	switch o.Method {
 	case CheckHamiltonian:
@@ -101,14 +144,37 @@ func (o CheckOptions) internal() passivity.CheckOptions {
 	return opts
 }
 
+func toPublicCertificate(c *passivity.Certificate) *PassivityCertificate {
+	if c == nil {
+		return nil
+	}
+	out := &PassivityCertificate{
+		Certified: c.Certified,
+		Stage:     c.Stage,
+		EigenDim:  c.EigenDim,
+		Intervals: c.Intervals,
+	}
+	for _, s := range c.Stages {
+		out.Stages = append(out.Stages, CertificateStage{
+			Stage:      s.Stage,
+			Certified:  s.Certified,
+			Violations: s.Violations,
+			EigenDim:   s.EigenDim,
+			Samples:    s.Samples,
+		})
+	}
+	return out
+}
+
 func toPublicReport(rep *passivity.Report) *PassivityReport {
 	out := &PassivityReport{
-		Passive:   rep.Passive,
-		MaxSigma:  rep.MaxSigma,
-		MaxFreqHz: rep.MaxOmega / (2 * math.Pi),
-		DSigma:    rep.DSigma,
-		Method:    rep.Method,
-		Samples:   rep.Samples,
+		Passive:     rep.Passive,
+		MaxSigma:    rep.MaxSigma,
+		MaxFreqHz:   rep.MaxOmega / (2 * math.Pi),
+		DSigma:      rep.DSigma,
+		Method:      rep.Method,
+		Samples:     rep.Samples,
+		Certificate: toPublicCertificate(rep.Certificate),
 	}
 	for _, v := range rep.Violations {
 		out.Violations = append(out.Violations, PassivityViolation{
@@ -148,6 +214,13 @@ type EnforceOptions struct {
 	// asymptotically non-passive (σmax(D) ≥ 1), which residue
 	// perturbation alone cannot repair.
 	ClampD bool
+	// Certify escalates every convergence of the fast per-sweep check
+	// through the certification pipeline; certified violation bands
+	// re-enter the loop as constraints instead of being declared passive,
+	// and the final verdict carries EnforceReport.Certificate. This closes
+	// the sampling-based false pass: a model only leaves the loop with an
+	// interval-by-interval certificate of the whole frequency axis.
+	Certify bool
 }
 
 // EnforceReport summarizes an enforcement run.
@@ -161,6 +234,14 @@ type EnforceReport struct {
 	// testcase.
 	MaxSigmaHistory []float64
 	Final           *PassivityReport
+	// Certificate is the final certification-pipeline verdict (nil unless
+	// EnforceOptions.Certify): which stage certified the enforced model
+	// and at what cost.
+	Certificate *PassivityCertificate
+	// CertifiedRescues counts the convergences where the fast check
+	// reported passive but the certification pipeline proved a residual
+	// violation that re-entered the loop.
+	CertifiedRescues int
 }
 
 // ScalingEnforceReport summarizes a residue-scaling enforcement run.
@@ -222,6 +303,13 @@ type BatchEnforceReport struct {
 	TotalIterations int
 	// WorstSigma is the largest final σ_max across the library.
 	WorstSigma float64
+	// Certified counts models whose final certificate covers the whole
+	// frequency axis (zero when Enforce.Certify is off).
+	Certified int
+	// CertifiedRescues sums, across the library, the convergences where
+	// the fast check passed but the certification pipeline proved a
+	// residual violation that re-entered the enforcement loop.
+	CertifiedRescues int
 }
 
 // EnforcePassivityBatch enforces passivity on a library of macromodels in
@@ -244,6 +332,7 @@ func EnforcePassivityBatch(models []*Macromodel, opts BatchEnforceOptions) (*Bat
 			MaxIterations: opts.Enforce.MaxIterations,
 			Margin:        opts.Enforce.Margin,
 			ClampD:        opts.Enforce.ClampD,
+			Certify:       opts.Enforce.Certify,
 		},
 		Workers: opts.Workers,
 	}
@@ -260,13 +349,15 @@ func EnforcePassivityBatch(models []*Macromodel, opts BatchEnforceOptions) (*Bat
 	}
 	brep := passivity.EnforceBatch(raw, bopts)
 	out := &BatchEnforceReport{
-		Reports:         make([]*EnforceReport, len(models)),
-		Errors:          make([]error, len(models)),
-		Models:          brep.Stats.Models,
-		Passive:         brep.Stats.Passive,
-		Failed:          brep.Stats.Failed,
-		TotalIterations: brep.Stats.TotalIterations,
-		WorstSigma:      brep.Stats.WorstSigma,
+		Reports:          make([]*EnforceReport, len(models)),
+		Errors:           make([]error, len(models)),
+		Models:           brep.Stats.Models,
+		Passive:          brep.Stats.Passive,
+		Failed:           brep.Stats.Failed,
+		TotalIterations:  brep.Stats.TotalIterations,
+		WorstSigma:       brep.Stats.WorstSigma,
+		Certified:        brep.Stats.Certified,
+		CertifiedRescues: brep.Stats.CertifiedRescues,
 	}
 	for i, r := range brep.Results {
 		out.Errors[i] = r.Err
@@ -274,9 +365,11 @@ func EnforcePassivityBatch(models []*Macromodel, opts BatchEnforceOptions) (*Bat
 			continue
 		}
 		rep := &EnforceReport{
-			Passive:    r.Report.Passive,
-			Iterations: r.Report.Iterations,
-			DClamped:   r.Report.DClamped,
+			Passive:          r.Report.Passive,
+			Iterations:       r.Report.Iterations,
+			DClamped:         r.Report.DClamped,
+			Certificate:      toPublicCertificate(r.Report.Certificate),
+			CertifiedRescues: r.Report.CertifiedRescues,
 		}
 		if r.Report.Final != nil {
 			rep.Final = toPublicReport(r.Report.Final)
@@ -298,6 +391,7 @@ func EnforcePassivity(m *Macromodel, opts EnforceOptions) (*EnforceReport, error
 		MaxIterations: opts.MaxIterations,
 		Margin:        opts.Margin,
 		ClampD:        opts.ClampD,
+		Certify:       opts.Certify,
 	}
 	var rep *passivity.EnforceReport
 	var err error
@@ -310,10 +404,12 @@ func EnforcePassivity(m *Macromodel, opts EnforceOptions) (*EnforceReport, error
 		return nil, err
 	}
 	out := &EnforceReport{
-		Passive:    rep.Passive,
-		Iterations: rep.Iterations,
-		DClamped:   rep.DClamped,
-		Final:      toPublicReport(rep.Final),
+		Passive:          rep.Passive,
+		Iterations:       rep.Iterations,
+		DClamped:         rep.DClamped,
+		Final:            toPublicReport(rep.Final),
+		Certificate:      toPublicCertificate(rep.Certificate),
+		CertifiedRescues: rep.CertifiedRescues,
 	}
 	for _, h := range rep.History {
 		out.MaxSigmaHistory = append(out.MaxSigmaHistory, h.MaxSigma)
