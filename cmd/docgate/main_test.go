@@ -1,0 +1,129 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeFixture lays out a minimal repo root with one documented and one
+// undocumented exported symbol, plus an internal package without a
+// package doc.
+func writeFixture(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	write := func(rel, src string) {
+		t.Helper()
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("root.go", `// Package fixture is documented.
+package fixture
+
+// Documented carries a doc comment.
+func Documented() {}
+
+func Undocumented() {}
+
+// Sess is a documented type.
+type Sess struct{}
+
+// Good is documented.
+func (s *Sess) Good() {}
+
+func (s *Sess) Bad() {}
+
+type UndocType struct{}
+
+func helper() {} // unexported: never audited
+`)
+	write("root_test.go", `package fixture
+
+// ExportedInTest would trip the gate if test files were audited.
+func ExportedInTest() {}
+`)
+	write("internal/sub/sub.go", `package sub
+
+func F() {}
+`)
+	return root
+}
+
+func TestRootSymbolCoverageFlagsUndocumentedSymbols(t *testing.T) {
+	root := writeFixture(t)
+	documented, total, missing, err := rootSymbolCoverage(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 6 {
+		t.Fatalf("audited %d symbols, want 6 (Documented, Undocumented, Sess, Good, Bad, UndocType); missing list: %v", total, missing)
+	}
+	if documented != 3 {
+		t.Fatalf("%d documented, want 3", documented)
+	}
+	want := map[string]bool{
+		"func Undocumented": false,
+		"method Sess.Bad":   false,
+		"type UndocType":    false,
+	}
+	for _, m := range missing {
+		if _, ok := want[m]; !ok {
+			t.Fatalf("unexpected missing entry %q (all: %v)", m, missing)
+		}
+		want[m] = true
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Fatalf("gate did not flag %s; flagged: %v", name, missing)
+		}
+	}
+	for _, m := range missing {
+		if strings.Contains(m, "ExportedInTest") || strings.Contains(m, "helper") {
+			t.Fatalf("gate audited a test-file or unexported symbol: %v", missing)
+		}
+	}
+}
+
+func TestPackageDocDetection(t *testing.T) {
+	root := writeFixture(t)
+	name, hasDoc, err := packageDoc(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "fixture" || !hasDoc {
+		t.Fatalf("root package: name=%q hasDoc=%v, want fixture/true", name, hasDoc)
+	}
+	name, hasDoc, err = packageDoc(filepath.Join(root, "internal", "sub"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "sub" || hasDoc {
+		t.Fatalf("internal/sub: name=%q hasDoc=%v, want sub/false", name, hasDoc)
+	}
+}
+
+// TestGateAcceptsThisRepo pins the gate green on the repository itself —
+// the same invocation CI runs, so a PR adding an undocumented root symbol
+// fails here too.
+func TestGateAcceptsThisRepo(t *testing.T) {
+	repoRoot := filepath.Join("..", "..")
+	if _, err := os.Stat(filepath.Join(repoRoot, "go.mod")); err != nil {
+		t.Skip("repo root not found")
+	}
+	_, total, missing, err := rootSymbolCoverage(repoRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total == 0 {
+		t.Fatal("audited no root symbols")
+	}
+	if len(missing) > 0 {
+		t.Fatalf("root package has undocumented exported symbols: %v", missing)
+	}
+}

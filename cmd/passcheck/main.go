@@ -29,6 +29,14 @@
 // model failures are reported without aborting the batch; -save-dir writes
 // the final models under their original base names.
 //
+// All work runs through a long-lived repro.Session. -cache-dir names a
+// directory of persisted evaluation caches (one file per pole-set
+// fingerprint): existing caches are loaded before the run, so repeated
+// library sweeps over fixed pole sets start warm, and the session state is
+// saved back afterwards. SIGINT/SIGTERM cancel the run gracefully — in-
+// flight models drain, partial results are reported, caches are still
+// saved — and exit with status 130.
+//
 // Enforcement is sensitivity-weighted (the paper's scheme, built on the
 // closed-form cascade Gramian) when either weight source is given:
 //
@@ -41,20 +49,24 @@
 //     the observation port and -weight-order the weight order n_w.
 //
 // Exit status: 0 when every final artifact is passive, 1 when not, 2 on
-// usage or I/O errors.
+// usage or I/O errors, 130 when interrupted.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 
 	repro "repro"
 )
@@ -62,6 +74,47 @@ import (
 func fail(code int, format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "passcheck: "+format+"\n", args...)
 	os.Exit(code)
+}
+
+// run carries the per-invocation session state: the engine, the run
+// context (cancelled by SIGINT/SIGTERM) and the cache directory.
+type run struct {
+	ctx      context.Context
+	sess     *repro.Session
+	cacheDir string
+}
+
+// saveCaches persists the session caches when -cache-dir is set.
+func (r *run) saveCaches() {
+	if r.cacheDir == "" {
+		return
+	}
+	if err := r.sess.SaveCache(r.cacheDir); err != nil {
+		fmt.Fprintf(os.Stderr, "passcheck: saving caches: %v\n", err)
+		return
+	}
+	st := r.sess.CacheStats()
+	fmt.Printf("saved %d evaluation caches to %s (%d basis + %d σ entries)\n",
+		st.Models, r.cacheDir, st.BasisEntries, st.SigmaEntries)
+}
+
+// interrupted reports a context cancellation, saves the caches and exits
+// with the conventional SIGINT status.
+func (r *run) interrupted() {
+	fmt.Fprintln(os.Stderr, "passcheck: interrupted — partial results above")
+	r.saveCaches()
+	os.Exit(130)
+}
+
+// checkErr fails on an error, routing cancellations through interrupted.
+func (r *run) checkErr(err error, what string) {
+	if err == nil {
+		return
+	}
+	if errors.Is(err, context.Canceled) {
+		r.interrupted()
+	}
+	fail(2, "%s: %v", what, err)
 }
 
 func main() {
@@ -81,7 +134,24 @@ func main() {
 	loadSpec := flag.String("load", "", "batch mode: termination spec deriving per-model weights (see doc)")
 	weightOrder := flag.Int("weight-order", 8, "-load mode: weight order n_w")
 	obsPort := flag.Int("obs", 0, "-load mode: observation port of the target impedance")
+	cacheDir := flag.String("cache-dir", "", "persist/reload session evaluation caches in this directory")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	r := &run{
+		ctx:      ctx,
+		sess:     repro.NewSession(repro.WithWorkers(*workers)),
+		cacheDir: *cacheDir,
+	}
+	if *cacheDir != "" {
+		if err := r.sess.LoadCache(*cacheDir); err != nil {
+			fmt.Fprintf(os.Stderr, "passcheck: loading caches: %v\n", err)
+		} else if st := r.sess.CacheStats(); st.Models > 0 {
+			fmt.Printf("loaded %d evaluation caches from %s (%d basis + %d σ entries)\n",
+				st.Models, *cacheDir, st.BasisEntries, st.SigmaEntries)
+		}
+	}
 
 	var checkMethod repro.CheckMethod
 	switch *method {
@@ -120,7 +190,7 @@ func main() {
 		if flag.NArg() != 0 {
 			fail(2, "-batch takes no positional arguments (got %d)", flag.NArg())
 		}
-		runBatch(*batch, chkBase, *enforce, *certify, *workers, *saveDir, weight, *loadSpec, *weightOrder, *obsPort)
+		runBatch(r, *batch, chkBase, *enforce, *certify, *workers, *saveDir, weight, *loadSpec, *weightOrder, *obsPort)
 		return
 	}
 	if *loadSpec != "" {
@@ -170,10 +240,8 @@ func main() {
 	}
 
 	chkOpts := chkBase
-	rep, err := repro.CheckPassivity(model, chkOpts)
-	if err != nil {
-		fail(2, "check: %v", err)
-	}
+	rep, err := r.sess.Check(r.ctx, model, chkOpts)
+	r.checkErr(err, "check")
 	printReport(rep)
 
 	if !rep.Passive && *enforce {
@@ -181,10 +249,8 @@ func main() {
 		// per-sweep checks stay on the fast method.
 		enfChk := chkOpts
 		enfChk.Certify = false
-		enf, err := repro.EnforcePassivity(model, repro.EnforceOptions{Check: enfChk, ClampD: true, Weight: weight, Certify: *certify})
-		if err != nil {
-			fail(2, "enforce: %v", err)
-		}
+		enf, err := r.sess.Enforce(r.ctx, model, repro.EnforceOptions{Check: enfChk, ClampD: true, Weight: weight, Certify: *certify})
+		r.checkErr(err, "enforce")
 		cost := "standard L2"
 		if weight != nil {
 			cost = "sensitivity-weighted"
@@ -204,6 +270,7 @@ func main() {
 		}
 		fmt.Printf("saved model to %s\n", *save)
 	}
+	r.saveCaches()
 	if !rep.Passive {
 		os.Exit(1)
 	}
@@ -213,8 +280,10 @@ func main() {
 // check or enforce the whole set (optionally with a shared -weight or
 // per-model -load derived sensitivity weights, and with -certify a
 // certification stage per model on its owning worker), print per-model
-// lines plus aggregate stats, and exit with the library verdict.
-func runBatch(glob string, chkOpts repro.CheckOptions, enforce, certify bool, workers int, saveDir string,
+// lines plus aggregate stats, and exit with the library verdict. The run
+// goes through the session, so -cache-dir makes repeated sweeps start
+// warm, and a SIGINT mid-batch drains gracefully with partial results.
+func runBatch(r *run, glob string, chkOpts repro.CheckOptions, enforce, certify bool, workers int, saveDir string,
 	weight *repro.Weight, loadSpec string, weightOrder, obsPort int) {
 	paths, err := filepath.Glob(glob)
 	if err != nil {
@@ -269,30 +338,40 @@ func runBatch(glob string, chkOpts repro.CheckOptions, enforce, certify bool, wo
 	}
 
 	allPassive := true
+	cancelled := false
+	// In enforce mode a failed or cancelled model is NOT a finished
+	// artifact; -save-dir must skip it (in check mode models are never
+	// modified, so saving is always just a copy).
+	var enforceErrs []error
 	if enforce {
 		if weight != nil {
 			fmt.Printf("weighted enforcement: shared weight, order %d\n", weight.Order())
 		}
 		enfChk := chkOpts
 		enfChk.Certify = false // the engine certifies on convergence itself
-		rep, err := repro.EnforcePassivityBatch(models, repro.BatchEnforceOptions{
+		rep, err := r.sess.EnforceBatch(r.ctx, models, repro.BatchEnforceOptions{
 			Enforce: repro.EnforceOptions{Check: enfChk, ClampD: true, Weight: weight, Certify: certify},
 			Weights: perModel,
 			Workers: workers,
 		})
-		if err != nil {
+		if err != nil && !errors.Is(err, context.Canceled) {
 			fail(2, "batch enforce: %v", err)
 		}
+		cancelled = err != nil
+		enforceErrs = rep.Errors
 		for i, p := range paths {
 			switch {
+			case errors.Is(rep.Errors[i], context.Canceled):
+				fmt.Printf("  %s: CANCELLED\n", p)
+				allPassive = false
 			case rep.Errors[i] != nil:
 				fmt.Printf("  %s: FAILED: %v\n", p, rep.Errors[i])
 				allPassive = false
 			default:
-				r := rep.Reports[i]
+				mr := rep.Reports[i]
 				fmt.Printf("  %s: passive=%v iterations=%d σmax=%.6f%s\n",
-					p, r.Passive, r.Iterations, r.Final.MaxSigma, certSummary(r.Certificate))
-				if !r.Passive {
+					p, mr.Passive, mr.Iterations, mr.Final.MaxSigma, certSummary(mr.Certificate))
+				if !mr.Passive {
 					allPassive = false
 				}
 			}
@@ -305,7 +384,17 @@ func runBatch(glob string, chkOpts repro.CheckOptions, enforce, certify bool, wo
 		}
 	} else {
 		for i, p := range paths {
-			rep, err := repro.CheckPassivity(models[i], chkOpts)
+			rep, err := r.sess.Check(r.ctx, models[i], chkOpts)
+			if errors.Is(err, context.Canceled) {
+				// Account for every remaining model so the report stays
+				// index-complete, like the enforce branch.
+				for _, q := range paths[i:] {
+					fmt.Printf("  %s: CANCELLED\n", q)
+				}
+				allPassive = false
+				cancelled = true
+				break
+			}
 			if err != nil {
 				fmt.Printf("  %s: FAILED: %v\n", p, err)
 				allPassive = false
@@ -322,14 +411,23 @@ func runBatch(glob string, chkOpts repro.CheckOptions, enforce, certify bool, wo
 		if err := os.MkdirAll(saveDir, 0o755); err != nil {
 			fail(2, "creating %s: %v", saveDir, err)
 		}
+		saved := 0
 		for i, p := range paths {
+			if enforceErrs != nil && enforceErrs[i] != nil {
+				continue // failed or cancelled: not an enforced artifact
+			}
 			out := filepath.Join(saveDir, filepath.Base(p))
 			if err := models[i].SaveFile(out); err != nil {
 				fail(2, "saving %s: %v", out, err)
 			}
+			saved++
 		}
-		fmt.Printf("saved %d models to %s\n", len(paths), saveDir)
+		fmt.Printf("saved %d models to %s\n", saved, saveDir)
 	}
+	if cancelled {
+		r.interrupted()
+	}
+	r.saveCaches()
 	if !allPassive {
 		os.Exit(1)
 	}

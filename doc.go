@@ -150,6 +150,39 @@
 // every worker count. Weights persist as JSON (Weight.SaveFile /
 // LoadWeightFile) so one fitted weight can drive repeated library sweeps.
 //
+// # Sessions
+//
+// The paper's workflow is inherently iterative — fit, weight, enforce,
+// re-check, re-enforce over the same pole sets — and a serving system
+// repeats it across a whole model library. The Session type is the
+// long-lived engine for that shape of work:
+//
+//   - Persistent evaluation caches. A Session keeps one EvalCache per
+//     pole-set fingerprint (FNV-1a over the pole bits, verified exactly)
+//     across Check / Enforce / EnforceBatch / Extract calls. Pole-basis
+//     vectors survive residue changes; σ samples are additionally guarded
+//     by a residue fingerprint and dropped the moment the residues differ.
+//     Repeated library sweeps over fixed pole sets run several times
+//     faster warm (BENCH_5.json), and SaveCache / LoadCache persist the
+//     warm state across processes (passcheck -cache-dir). A byte budget
+//     (WithCacheBudget) evicts whole least-recently-used model caches.
+//   - Cancellation. Every Session method takes a context.Context.
+//     Cancellation is cooperative and drains deterministically: parallel
+//     fan-outs stop claiming new work but finish what is in flight, no
+//     goroutine outlives the call, and enforcement methods return
+//     ctx.Err() together with a partial report (per-model partial reports
+//     and ctx-cancelled slots inside a batch).
+//   - Progress. WithProgress installs a sink receiving check, iteration
+//     and certificate-stage events, serialized across batch workers.
+//   - Defaults. WithWorkers, WithMethod and WithCertify set session-wide
+//     policies that individual calls inherit.
+//
+// The stateless root functions (CheckPassivity, EnforcePassivity,
+// EnforcePassivityBatch, Extract) are thin wrappers over a shared default
+// Session with a background context; their signatures and results are
+// unchanged — caching only moves work, never results, so session-routed
+// outcomes are bitwise identical to the pre-Session implementations.
+//
 // ARCHITECTURE.md maps the paper's equations to packages and expands on
 // these conventions.
 //

@@ -6,6 +6,7 @@ package repro_test
 // the expected output is stable across platforms.
 
 import (
+	"context"
 	"fmt"
 
 	repro "repro"
@@ -38,6 +39,62 @@ func ExampleCheckPassivity() {
 	// method: adaptive
 	// violations found: true
 	// sigma exceeds one: true
+}
+
+func ExampleNewSession() {
+	// A long-lived Session keys evaluation caches by pole-set fingerprint,
+	// so the second check of the same model is served from the σ layer —
+	// with results bitwise identical to the stateless CheckPassivity.
+	m := violatingModel(3)
+	sess := repro.NewSession(repro.WithMethod(repro.CheckAdaptive))
+	ctx := context.Background()
+
+	cold, err := sess.Check(ctx, m, repro.CheckOptions{})
+	if err != nil {
+		panic(err)
+	}
+	warm, err := sess.Check(ctx, m, repro.CheckOptions{})
+	if err != nil {
+		panic(err)
+	}
+	st := sess.CacheStats()
+	fmt.Printf("passive: %v\n", cold.Passive)
+	fmt.Printf("warm identical: %v\n", cold.MaxSigma == warm.MaxSigma && cold.Samples == warm.Samples)
+	fmt.Printf("caches resident: %d\n", st.Models)
+	fmt.Printf("cache has entries: %v\n", st.BasisEntries > 0 && st.SigmaEntries > 0)
+	// Output:
+	// passive: false
+	// warm identical: true
+	// caches resident: 1
+	// cache has entries: true
+}
+
+func ExampleSession_EnforceBatch() {
+	// Session.EnforceBatch shards a library across workers with
+	// fingerprint-keyed caches, a cancellable context and progress events;
+	// results are bitwise identical to sequential EnforcePassivity.
+	models := []*repro.Macromodel{violatingModel(3), violatingModel(4)}
+	var iterations int
+	sess := repro.NewSession(repro.WithProgress(func(ev repro.ProgressEvent) {
+		if ev.Kind == repro.ProgressIteration {
+			iterations++
+		}
+	}))
+	rep, err := sess.EnforceBatch(context.Background(), models, repro.BatchEnforceOptions{
+		Enforce: repro.EnforceOptions{
+			Check:  repro.CheckOptions{Method: repro.CheckAdaptive},
+			ClampD: true,
+		},
+		Workers: 2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("passive: %d/%d\n", rep.Passive, rep.Models)
+	fmt.Printf("progress saw every sweep: %v\n", iterations == rep.TotalIterations)
+	// Output:
+	// passive: 2/2
+	// progress saw every sweep: true
 }
 
 func ExampleEnforcePassivity() {

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 )
 
@@ -49,7 +50,20 @@ type ExtractResult struct {
 // weight-model identification, and weighted passivity enforcement. Flags
 // in opts degrade individual stages to their unweighted baselines so that
 // the four combinations compared in the paper's figures are all available.
+// It delegates to the shared default Session (see Session.Extract for
+// cancellation and progress reporting).
 func Extract(data *SData, load *Load, opts ExtractOptions) (*ExtractResult, error) {
+	return extractWith(context.Background(), defaultSession, data, load, opts)
+}
+
+// extractWith is the session-routed implementation behind Extract and
+// Session.Extract: the check and enforcement stages share the session's
+// evaluation caches and progress sink, and ctx is consulted between
+// stages (plus all the cooperative points inside check and enforcement).
+func extractWith(ctx context.Context, s *Session, data *SData, load *Load, opts ExtractOptions) (*ExtractResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := data.Validate(); err != nil {
 		return nil, err
 	}
@@ -77,6 +91,9 @@ func Extract(data *SData, load *Load, opts ExtractOptions) (*ExtractResult, erro
 			fitWeights = xi
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	model, fitRep, err := Fit(data, FitOptions{
 		NumPoles:   opts.NumPoles,
@@ -91,7 +108,7 @@ func Extract(data *SData, load *Load, opts ExtractOptions) (*ExtractResult, erro
 	res.NonPassive = model.Clone()
 	res.Fit = fitRep
 
-	before, err := CheckPassivity(model, opts.Enforce.Check)
+	before, err := s.Check(ctx, model, opts.Enforce.Check)
 	if err != nil {
 		return nil, fmt.Errorf("repro: passivity check: %w", err)
 	}
@@ -105,7 +122,7 @@ func Extract(data *SData, load *Load, opts ExtractOptions) (*ExtractResult, erro
 	if !opts.UnweightedEnforcement {
 		eopts.Weight = res.Weight
 	}
-	enf, err := EnforcePassivity(model, eopts)
+	enf, err := s.Enforce(ctx, model, eopts)
 	if err != nil {
 		return nil, fmt.Errorf("repro: enforcement: %w", err)
 	}

@@ -7,6 +7,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -87,6 +88,69 @@ func ForWorker(workers, n int, fn func(worker, i int)) {
 		}(w)
 	}
 	wg.Wait()
+}
+
+// ForCtx is For with cooperative cancellation: once ctx is done, workers
+// stop claiming new indices, indices already in flight run to completion,
+// and every goroutine is joined before the call returns — the drain is
+// deterministic in the sense that a claimed index is never abandoned
+// halfway and no goroutine outlives the call. It returns nil when all n
+// indices completed (even if ctx was cancelled after the last claim) and
+// ctx.Err() when the cancellation left indices unclaimed; callers must
+// treat their output as partial in that case.
+func ForCtx(ctx context.Context, workers, n int, fn func(i int)) error {
+	return ForWorkerCtx(ctx, workers, n, func(_, i int) { fn(i) })
+}
+
+// ForWorkerCtx is ForWorker with the cooperative cancellation of ForCtx:
+// stable worker identities, no new claims after ctx is done, in-flight
+// indices drained, all goroutines joined. Returns nil when every index
+// completed, ctx.Err() otherwise.
+func ForWorkerCtx(ctx context.Context, workers, n int, fn func(worker, i int)) error {
+	if n <= 0 {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var done int64 // indices fully completed
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			fn(0, i)
+			done++
+		}
+		return nil
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				fn(w, i)
+				atomic.AddInt64(&done, 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if atomic.LoadInt64(&done) == int64(n) {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // ForErr is For with error collection: it returns the error of the lowest

@@ -1,10 +1,13 @@
 package parallel
 
 import (
+	"context"
 	"errors"
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestForVisitsEachIndexOnce(t *testing.T) {
@@ -87,6 +90,83 @@ func TestForWorkerIsolatesWorkerState(t *testing.T) {
 	}
 	if want := int64(n) * int64(n-1) / 2; total != want {
 		t.Fatalf("per-worker partial sums total %d, want %d", total, want)
+	}
+}
+
+func TestForCtxCompletesWithoutCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		n := 500
+		counts := make([]int64, n)
+		err := ForCtx(context.Background(), workers, n, func(i int) {
+			atomic.AddInt64(&counts[i], 1)
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: unexpected error %v", workers, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForCtxAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var ran int64
+		err := ForCtx(ctx, workers, 100, func(int) { atomic.AddInt64(&ran, 1) })
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: got %v, want context.Canceled", workers, err)
+		}
+		// A pre-cancelled context may still let the first claims through on
+		// the parallel path (workers observe ctx once per claim), but a
+		// serial run must not start any index.
+		if workers == 1 && ran != 0 {
+			t.Fatalf("serial run executed %d indices under a cancelled context", ran)
+		}
+	}
+}
+
+func TestForWorkerCtxDrainsInFlightAndLeaksNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	var started, finished int64
+	err := ForWorkerCtx(ctx, 4, 10000, func(_, i int) {
+		if atomic.AddInt64(&started, 1) == 5 {
+			cancel() // cancel mid-run from inside the work itself
+		}
+		time.Sleep(50 * time.Microsecond)
+		atomic.AddInt64(&finished, 1)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	// Deterministic drain: every claimed index ran to completion.
+	if s, f := atomic.LoadInt64(&started), atomic.LoadInt64(&finished); s != f {
+		t.Fatalf("%d indices started but only %d finished", s, f)
+	}
+	if finished >= 10000 {
+		t.Fatal("cancellation did not stop the claim loop")
+	}
+	// All worker goroutines must be joined; allow the runtime a settle loop.
+	for i := 0; i < 100; i++ {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+func TestForWorkerCtxNilContext(t *testing.T) {
+	var ran int64
+	if err := ForWorkerCtx(nil, 2, 64, func(_, i int) { atomic.AddInt64(&ran, 1) }); err != nil { //nolint:staticcheck // nil ctx is part of the contract
+		t.Fatalf("unexpected error %v", err)
+	}
+	if ran != 64 {
+		t.Fatalf("ran %d of 64 indices", ran)
 	}
 }
 

@@ -338,7 +338,11 @@ func checkAdaptive(model *rational.Model, opts CheckOptions) (*Report, error) {
 	}
 	sortFloats(grid)
 	grid = dedupeSorted(grid)
-	st.setGrid(grid, sigmaBatch(model, grid, opts.Workers, opts.Cache, opts.work))
+	sv, err := sigmaBatch(opts.Ctx, model, grid, opts.Workers, opts.Cache, opts.work)
+	if err != nil {
+		return nil, err
+	}
+	st.setGrid(grid, sv)
 
 	budget := opts.AdaptiveMaxSamples
 	for stage := 0; stage < opts.AdaptiveMaxStages && budget > 0; stage++ {
@@ -355,7 +359,10 @@ func checkAdaptive(model *rational.Model, opts CheckOptions) (*Report, error) {
 			mids = mids[:budget]
 		}
 		budget -= len(mids)
-		msv := sigmaBatch(model, mids, opts.Workers, opts.Cache, opts.work)
+		msv, err := sigmaBatch(opts.Ctx, model, mids, opts.Workers, opts.Cache, opts.work)
+		if err != nil {
+			return nil, err
+		}
 		st.merge(mids, msv)
 	}
 

@@ -1,6 +1,7 @@
 package passivity
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -39,6 +40,31 @@ type BatchOptions struct {
 	// state across calls. It sees — and may override — the weight-derived
 	// CostGramian installed by Weight/Weights.
 	PerModel func(i int, m *rational.Model, base EnforceOptions) (EnforceOptions, error)
+	// Ctx, when non-nil, cancels the batch cooperatively: workers stop
+	// claiming new models, the model in flight on each worker stops at its
+	// own next cancellation point (returning its partial report), and
+	// models never claimed get ctx.Err() in their result slot. No
+	// goroutines outlive the call.
+	Ctx context.Context
+	// CacheFor, when non-nil, supplies the evaluation cache of model i. It
+	// is called on the worker goroutine that owns the model, immediately
+	// before its enforcement, and pairs with CacheDone(i) right after the
+	// model completes — so a provider can lease caches per model instead
+	// of pinning one per library entry for the whole batch (the Session
+	// layer checks fingerprint-keyed caches out and in this way, keeping
+	// its byte budget meaningful during large runs). Returning nil selects
+	// a fresh private cache, the pre-Session behavior. The returned caches
+	// must be distinct across concurrently running models — a cache is
+	// single-goroutine state.
+	CacheFor func(i int) *EvalCache
+	// CacheDone returns the cache of model i after its enforcement
+	// finished (successfully or not). Called on the owning worker
+	// goroutine; may be nil.
+	CacheDone func(i int)
+	// Progress, when non-nil, receives the progress events of every
+	// per-model enforcement run, tagged with the model index. It is called
+	// from concurrent worker goroutines and must be safe for that.
+	Progress ProgressFunc
 }
 
 // ErrBatchWeightCount is returned when BatchOptions.Weights is non-nil but
@@ -98,25 +124,35 @@ type BatchReport struct {
 // (Check results are worker-count independent, so this changes nothing but
 // the scheduling): model-level parallelism already saturates the cores,
 // and nested fan-outs would only thrash them.
+//
+// Cancellation: when Ctx is cancelled the workers drain deterministically —
+// no new models are claimed, in-flight models stop at their own next
+// cancellation point with partial per-model reports, never-claimed models
+// get ctx.Err() in their result slot, and no goroutine outlives the call.
+// The aggregate stats cover whatever completed; cancelled models count as
+// failed.
 func EnforceBatch(models []*rational.Model, opts BatchOptions) *BatchReport {
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	rep := &BatchReport{Results: make([]ModelResult, len(models))}
-	if opts.Weights != nil && len(opts.Weights) != len(models) {
+	fillErr := func(err error) *BatchReport {
 		for i := range rep.Results {
-			rep.Results[i] = ModelResult{Err: ErrBatchWeightCount}
+			rep.Results[i] = ModelResult{Err: err}
 		}
 		rep.Stats.Models = len(models)
 		rep.Stats.Failed = len(models)
 		return rep
 	}
+	if opts.Weights != nil && len(opts.Weights) != len(models) {
+		return fillErr(ErrBatchWeightCount)
+	}
 	pools := make([]*workspacePool, workers)
 	for i := range pools {
 		pools[i] = newWorkspacePool()
 	}
-	parallel.ForWorker(workers, len(models), func(wk, i int) {
+	ctxFailed := parallel.ForWorkerCtx(opts.Ctx, workers, len(models), func(wk, i int) {
 		eopts := opts.Enforce
 		weight := opts.Weight
 		if opts.Weights != nil && opts.Weights[i] != nil {
@@ -138,14 +174,36 @@ func EnforceBatch(models []*rational.Model, opts BatchOptions) *BatchReport {
 				return
 			}
 		}
-		eopts.Check.Cache = NewEvalCache()
+		eopts.Check.Cache = nil
+		if opts.CacheFor != nil {
+			eopts.Check.Cache = opts.CacheFor(i)
+		}
+		if eopts.Check.Cache == nil {
+			eopts.Check.Cache = NewEvalCache()
+		}
+		eopts.Check.Ctx = opts.Ctx
+		eopts.Check.Progress = opts.Progress
+		eopts.Check.ProgressModel = i
 		eopts.Check.work = pools[wk]
 		if workers > 1 {
 			eopts.Check.Workers = 1
 		}
 		r, err := Enforce(models[i], eopts)
+		if opts.CacheDone != nil {
+			opts.CacheDone(i)
+		}
 		rep.Results[i] = ModelResult{Report: r, Err: err}
 	})
+	if ctxFailed != nil {
+		// Models never claimed before the cancellation: mark them so the
+		// report stays index-coherent (a claimed model carries either its
+		// full result or its own partial report + ctx error).
+		for i := range rep.Results {
+			if rep.Results[i].Report == nil && rep.Results[i].Err == nil {
+				rep.Results[i] = ModelResult{Err: ctxFailed}
+			}
+		}
+	}
 
 	st := &rep.Stats
 	st.Models = len(models)

@@ -1,6 +1,7 @@
 package passivity
 
 import (
+	"context"
 	"runtime"
 	"sort"
 
@@ -210,8 +211,11 @@ func (c *EvalCache) sigmaFor(w float64) (float64, bool) {
 // sigmaBatch evaluates σ_max at every frequency of ws, filling cache hits
 // serially and fanning the misses out over up to workers goroutines, each
 // with its own workspace from pool. The result slice is index-aligned with
-// ws and bitwise independent of the worker count.
-func sigmaBatch(model *rational.Model, ws []float64, workers int, c *EvalCache, pool *workspacePool) []float64 {
+// ws and bitwise independent of the worker count. When ctx is cancelled
+// mid-batch the fan-out drains deterministically and sigmaBatch returns
+// ctx.Err() with a nil slice; nothing is stored in the cache, so a retried
+// batch recomputes cleanly.
+func sigmaBatch(ctx context.Context, model *rational.Model, ws []float64, workers int, c *EvalCache, pool *workspacePool) ([]float64, error) {
 	out := make([]float64, len(ws))
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -221,10 +225,12 @@ func sigmaBatch(model *rational.Model, ws []float64, workers int, c *EvalCache, 
 	}
 	if c == nil {
 		pool.ensure(workers)
-		parallel.ForWorker(workers, len(ws), func(wk, i int) {
+		if err := parallel.ForWorkerCtx(ctx, workers, len(ws), func(wk, i int) {
 			out[i] = pool.get(wk).sigmaAt(model, ws[i])
-		})
-		return out
+		}); err != nil {
+			return nil, err
+		}
+		return out, nil
 	}
 	// Serial pass over the cache; collect misses.
 	miss := make([]int, 0, len(ws))
@@ -238,7 +244,7 @@ func sigmaBatch(model *rational.Model, ws []float64, workers int, c *EvalCache, 
 		}
 	}
 	if len(miss) == 0 {
-		return out
+		return out, nil
 	}
 	// Parallel evaluation of the misses: each index owns its output slot
 	// and its (freshly allocated or previously cached) basis vector.
@@ -247,19 +253,21 @@ func sigmaBatch(model *rational.Model, ws []float64, workers int, c *EvalCache, 
 		bases[bi] = c.basisFor(ws[i]) // nil when absent; filled in the loop
 	}
 	pool.ensure(workers)
-	parallel.ForWorker(workers, len(miss), func(wk, bi int) {
+	if err := parallel.ForWorkerCtx(ctx, workers, len(miss), func(wk, bi int) {
 		i := miss[bi]
 		if bases[bi] == nil {
 			bases[bi] = model.EvalBasis(ws[i])
 		}
 		out[i] = pool.get(wk).sigma(model, bases[bi])
-	})
+	}); err != nil {
+		return nil, err
+	}
 	// Serial store.
 	for bi, i := range miss {
 		c.storeBasis(ws[i], bases[bi])
 		c.sigma[ws[i]] = out[i]
 	}
-	return out
+	return out, nil
 }
 
 // cachedSigma evaluates σ_max at one frequency through the cache (both

@@ -1,0 +1,121 @@
+package passivity
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// primeCache runs a check with a cache so both layers carry real entries.
+func primeCache(t *testing.T) (*EvalCache, int) {
+	t.Helper()
+	model, err := SyntheticModel(SyntheticOptions{Ports: 2, Poles: 14, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewEvalCache()
+	if _, err := Check(model, CheckOptions{Method: MethodAdaptive, Cache: c, Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	c.SetHot([]float64{3.5, 88})
+	if c.BasisEntries() == 0 || c.SigmaEntries() == 0 {
+		t.Fatalf("priming left an empty cache: %d basis, %d sigma", c.BasisEntries(), c.SigmaEntries())
+	}
+	return c, model.NumPoles()
+}
+
+func TestEvalCacheSaveLoadRoundtrip(t *testing.T) {
+	c, nPoles := primeCache(t)
+	c.MaxEntries = 12345
+
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadEvalCache(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.MaxEntries != c.MaxEntries {
+		t.Errorf("MaxEntries %d, want %d", got.MaxEntries, c.MaxEntries)
+	}
+	if got.BasisEntries() != c.BasisEntries() {
+		t.Fatalf("basis entries %d, want %d", got.BasisEntries(), c.BasisEntries())
+	}
+	if got.SigmaEntries() != c.SigmaEntries() {
+		t.Fatalf("sigma entries %d, want %d", got.SigmaEntries(), c.SigmaEntries())
+	}
+	for _, w := range c.sortedBasisFreqs() {
+		a, b := c.basisFor(w), got.basisFor(w)
+		if b == nil {
+			t.Fatalf("basis for ω=%g missing after reload", w)
+		}
+		if len(a) != nPoles || len(b) != len(a) {
+			t.Fatalf("basis length %d/%d at ω=%g, want %d", len(a), len(b), w, nPoles)
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				t.Fatalf("basis mismatch at ω=%g index %d: %v vs %v", w, k, a[k], b[k])
+			}
+		}
+	}
+	for _, w := range c.sigmaFreqsSorted() {
+		a, _ := c.sigmaFor(w)
+		b, ok := got.sigmaFor(w)
+		if !ok || a != b {
+			t.Fatalf("σ mismatch at ω=%g: %v (resident %v) vs %v", w, b, ok, a)
+		}
+	}
+	if len(got.Hot()) != 2 || got.Hot()[0] != 3.5 || got.Hot()[1] != 88 {
+		t.Fatalf("hot seeds %v, want [3.5 88]", got.Hot())
+	}
+	if got.SigmaHits != 0 || got.Evictions != 0 {
+		t.Fatalf("counters not reset: hits=%d evictions=%d", got.SigmaHits, got.Evictions)
+	}
+}
+
+func TestEvalCacheLoadPreservesLRUOrder(t *testing.T) {
+	c := NewEvalCache()
+	for i := 1; i <= 5; i++ {
+		c.storeBasis(float64(i), []complex128{complex(float64(i), 0)})
+	}
+	c.basisFor(2) // touch ω=2 to the head
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadEvalCache(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reloaded recency must match: evicting down to 2 entries keeps the
+	// two warmest (ω=5 and the touched ω=2) on both caches.
+	got.MaxEntries = 2
+	got.storeBasis(6, []complex128{6}) // trigger evictions
+	for _, w := range []float64{2, 6} {
+		if got.basisFor(w) == nil {
+			t.Fatalf("warm entry ω=%g evicted; resident: %v", w, got.sortedBasisFreqs())
+		}
+	}
+	for _, w := range []float64{1, 3, 4, 5} {
+		if got.basisFor(w) != nil {
+			t.Fatalf("cold entry ω=%g survived eviction; resident: %v", w, got.sortedBasisFreqs())
+		}
+	}
+}
+
+func TestEvalCacheLoadRejectsGarbage(t *testing.T) {
+	if _, err := LoadEvalCache(bytes.NewReader([]byte("not a cache stream"))); !errors.Is(err, ErrCacheFormat) {
+		t.Fatalf("got %v, want ErrCacheFormat", err)
+	}
+	// Truncated valid stream.
+	c, _ := primeCache(t)
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadEvalCache(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
+		t.Fatal("truncated stream loaded without error")
+	}
+}

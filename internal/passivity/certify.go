@@ -232,11 +232,21 @@ func (p *Pipeline) Run(model *rational.Model, opts CheckOptions, copts CertifyOp
 		if len(open) == 0 {
 			break
 		}
+		// Stages can be eigensolve-heavy; the pipeline is cancellable at
+		// stage granularity.
+		if err := ctxErr(opts.Ctx); err != nil {
+			return nil, err
+		}
 		rem, viols, cost, err := st.certify(cc, open)
 		if err != nil {
 			return nil, err
 		}
 		cert.Stages = append(cert.Stages, cost)
+		opts.emit(ProgressEvent{
+			Kind:    ProgressCertStage,
+			Stage:   st.Name(),
+			Samples: cost.Samples,
+		})
 		if cost.EigenDim > cert.EigenDim {
 			cert.EigenDim = cost.EigenDim
 		}

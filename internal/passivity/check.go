@@ -1,6 +1,7 @@
 package passivity
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -107,6 +108,21 @@ type CheckOptions struct {
 	Certify bool
 	// CertifyOpts tunes the certification pipeline (zero value = defaults).
 	CertifyOpts CertifyOptions
+	// Ctx, when non-nil, cancels the check cooperatively: parallel σ
+	// fan-outs stop claiming new frequencies (in-flight evaluations drain
+	// deterministically, no goroutine leaks), the adaptive stage loop and
+	// the certification pipeline stop between stages, and Check returns
+	// ctx.Err(). A nil Ctx never cancels.
+	Ctx context.Context
+	// Progress, when non-nil, receives ProgressEvents (check completions,
+	// enforcement iterations, certification stages) synchronously on the
+	// working goroutine. Inside EnforceBatch the sink is called from
+	// concurrent workers and must be safe for that.
+	Progress ProgressFunc
+	// ProgressModel tags emitted events with a batch model index.
+	// EnforceBatch sets it per model; standalone callers should use -1
+	// (the Session layer does) so handlers can tell the two apart.
+	ProgressModel int
 	// Cache, when non-nil, memoizes per-frequency evaluations across
 	// checks of the same pole set (see EvalCache). Enforce installs one
 	// automatically. Not safe for concurrent checks.
@@ -195,6 +211,9 @@ func (o *CheckOptions) defaults(model *rational.Model) {
 
 // Check assesses the scattering passivity of a pole-residue model.
 func Check(model *rational.Model, opts CheckOptions) (*Report, error) {
+	if err := ctxErr(opts.Ctx); err != nil {
+		return nil, err
+	}
 	opts.defaults(model)
 	dSigma := mat.MaxSingularValue(mat.RealToComplex(model.D))
 	method := opts.Method
@@ -229,6 +248,12 @@ func Check(model *rational.Model, opts CheckOptions) (*Report, error) {
 			return nil, err
 		}
 	}
+	opts.emit(ProgressEvent{
+		Kind:     ProgressCheck,
+		MaxSigma: rep.MaxSigma,
+		Passive:  rep.Passive,
+		Samples:  rep.Samples,
+	})
 	return rep, nil
 }
 
@@ -403,7 +428,10 @@ func checkSweep(model *rational.Model, opts CheckOptions) (*Report, error) {
 	rep := &Report{Method: "sweep", Passive: true}
 	grid := poleSeededGrid(model, opts.SweepPoints, opts.OmegaMin, opts.OmegaMax)
 	sortFloats(grid)
-	sv := sigmaBatch(model, grid, opts.Workers, opts.Cache, opts.work)
+	sv, err := sigmaBatch(opts.Ctx, model, grid, opts.Workers, opts.Cache, opts.work)
+	if err != nil {
+		return nil, err
+	}
 	rep.Samples = len(grid)
 	assembleReport(model, grid, sv, opts, rep)
 	return rep, nil

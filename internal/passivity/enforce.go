@@ -110,6 +110,13 @@ type constraint struct {
 // pipeline, whose proven violation bands re-enter the loop as constraints
 // (seeding the evaluation cache so the fast stage tracks them from then
 // on) instead of terminating it.
+//
+// Cancellation: when opts.Check.Ctx is cancelled, Enforce stops at the
+// next cooperative point (between sweeps, between σ fan-out claims,
+// between certification stages) and returns ctx.Err() together with a
+// partial report covering the sweeps already applied — the model keeps
+// those perturbations, since enforcement is in place. On any other error
+// the report is nil.
 func Enforce(model *rational.Model, opts EnforceOptions) (*EnforceReport, error) {
 	if opts.MaxIterations <= 0 {
 		opts.MaxIterations = 40
@@ -130,6 +137,10 @@ func Enforce(model *rational.Model, opts EnforceOptions) (*EnforceReport, error)
 			return nil, fmt.Errorf("%w (σmax(D)=%g)", ErrAsymptoticViolation, dSigma)
 		}
 		clampDMatrix(model, 1-2*opts.Margin)
+		// D moved: σ samples a caller-supplied warm cache may carry (the
+		// Session layer passes caches whose σ layer was computed from the
+		// unclamped D) are stale. The pole-basis layer survives.
+		opts.Check.Cache.InvalidateSigma()
 		rep.DClamped = true
 	}
 	gram := opts.CostGramian
@@ -165,14 +176,26 @@ func Enforce(model *rational.Model, opts EnforceOptions) (*EnforceReport, error)
 	opts.Check.Certify = false
 
 	for iter := 0; iter < opts.MaxIterations; iter++ {
+		if err := ctxErr(opts.Check.Ctx); err != nil {
+			// Cancelled between sweeps: the partial report documents the
+			// iterations already applied (the model keeps their
+			// perturbations — enforcement is in-place and monotone).
+			return rep, err
+		}
 		chk, err := Check(model, opts.Check)
 		if err != nil {
+			if ctxErr(opts.Check.Ctx) != nil {
+				return rep, err
+			}
 			return nil, err
 		}
 		rep.Final = chk
 		if chk.Passive {
 			done, cerr := escalateConverged(model, &opts, rep, chk, true)
 			if cerr != nil {
+				if ctxErr(opts.Check.Ctx) != nil {
+					return rep, cerr
+				}
 				return nil, cerr
 			}
 			if done {
@@ -203,9 +226,17 @@ func Enforce(model *rational.Model, opts EnforceOptions) (*EnforceReport, error)
 			DeltaNorm:   delta,
 		})
 		rep.Iterations = iter + 1
+		opts.Check.emit(ProgressEvent{
+			Kind:      ProgressIteration,
+			Iteration: iter + 1,
+			MaxSigma:  chk.MaxSigma,
+		})
 	}
 	chk, err := Check(model, opts.Check)
 	if err != nil {
+		if ctxErr(opts.Check.Ctx) != nil {
+			return rep, err
+		}
 		return nil, err
 	}
 	rep.Final = chk
@@ -216,6 +247,9 @@ func Enforce(model *rational.Model, opts EnforceOptions) (*EnforceReport, error)
 		// rescue.
 		done, cerr := escalateConverged(model, &opts, rep, chk, false)
 		if cerr != nil {
+			if ctxErr(opts.Check.Ctx) != nil {
+				return rep, cerr
+			}
 			return nil, cerr
 		}
 		rep.Passive = done

@@ -1,12 +1,10 @@
 package repro
 
 import (
-	"fmt"
+	"context"
 	"math"
 
-	"repro/internal/core"
 	"repro/internal/passivity"
-	"repro/internal/rational"
 )
 
 // PassivityViolation is one frequency band where a singular value of the
@@ -189,13 +187,13 @@ func toPublicReport(rep *passivity.Report) *PassivityReport {
 
 // CheckPassivity assesses the model: Hamiltonian imaginary-eigenvalue test
 // for small state dimensions, multi-stage adaptive singular-value
-// characterization otherwise (see CheckMethod to force one).
+// characterization otherwise (see CheckMethod to force one). It is a thin
+// wrapper over the shared default Session with a background context —
+// repeated checks of the same pole set reuse its evaluation caches; use
+// NewSession for cancellation, progress reporting or an isolated cache
+// pool. Results are bitwise identical either way.
 func CheckPassivity(m *Macromodel, opts CheckOptions) (*PassivityReport, error) {
-	rep, err := passivity.Check(m.model, opts.internal())
-	if err != nil {
-		return nil, err
-	}
-	return toPublicReport(rep), nil
+	return defaultSession.Check(context.Background(), m, opts)
 }
 
 // EnforceOptions tunes passivity enforcement.
@@ -312,45 +310,33 @@ type BatchEnforceReport struct {
 	CertifiedRescues int
 }
 
-// EnforcePassivityBatch enforces passivity on a library of macromodels in
-// place, sharding models across workers with per-worker reusable
-// workspaces and per-model evaluation caches. Every model is attempted;
-// per-model failures are reported in Errors without aborting the batch.
-// The per-model outcomes are bitwise identical to calling EnforcePassivity
-// on each model sequentially with the same options.
-func EnforcePassivityBatch(models []*Macromodel, opts BatchEnforceOptions) (*BatchEnforceReport, error) {
-	if opts.Weights != nil && len(opts.Weights) != len(models) {
-		return nil, fmt.Errorf("repro: %d weights for %d models", len(opts.Weights), len(models))
+// toPublicEnforceReport converts an internal enforcement report, tolerating
+// the partial reports a cancelled run produces (nil Final, no certificate).
+func toPublicEnforceReport(rep *passivity.EnforceReport) *EnforceReport {
+	if rep == nil {
+		return nil
 	}
-	raw := make([]*rational.Model, len(models))
-	for i, m := range models {
-		raw[i] = m.model
+	out := &EnforceReport{
+		Passive:          rep.Passive,
+		Iterations:       rep.Iterations,
+		DClamped:         rep.DClamped,
+		Certificate:      toPublicCertificate(rep.Certificate),
+		CertifiedRescues: rep.CertifiedRescues,
 	}
-	bopts := passivity.BatchOptions{
-		Enforce: passivity.EnforceOptions{
-			Check:         opts.Enforce.Check.internal(),
-			MaxIterations: opts.Enforce.MaxIterations,
-			Margin:        opts.Enforce.Margin,
-			ClampD:        opts.Enforce.ClampD,
-			Certify:       opts.Enforce.Certify,
-		},
-		Workers: opts.Workers,
+	if rep.Final != nil {
+		out.Final = toPublicReport(rep.Final)
 	}
-	if w := opts.Enforce.Weight; w != nil {
-		bopts.Weight = w.model
+	for _, h := range rep.History {
+		out.MaxSigmaHistory = append(out.MaxSigmaHistory, h.MaxSigma)
 	}
-	if opts.Weights != nil {
-		bopts.Weights = make([]*rational.Model, len(opts.Weights))
-		for i, w := range opts.Weights {
-			if w != nil {
-				bopts.Weights[i] = w.model
-			}
-		}
-	}
-	brep := passivity.EnforceBatch(raw, bopts)
+	return out
+}
+
+// toPublicBatchReport converts an internal batch report (n input models).
+func toPublicBatchReport(n int, brep *passivity.BatchReport) *BatchEnforceReport {
 	out := &BatchEnforceReport{
-		Reports:          make([]*EnforceReport, len(models)),
-		Errors:           make([]error, len(models)),
+		Reports:          make([]*EnforceReport, n),
+		Errors:           make([]error, n),
 		Models:           brep.Stats.Models,
 		Passive:          brep.Stats.Passive,
 		Failed:           brep.Stats.Failed,
@@ -361,58 +347,37 @@ func EnforcePassivityBatch(models []*Macromodel, opts BatchEnforceOptions) (*Bat
 	}
 	for i, r := range brep.Results {
 		out.Errors[i] = r.Err
-		if r.Report == nil {
-			continue
-		}
-		rep := &EnforceReport{
-			Passive:          r.Report.Passive,
-			Iterations:       r.Report.Iterations,
-			DClamped:         r.Report.DClamped,
-			Certificate:      toPublicCertificate(r.Report.Certificate),
-			CertifiedRescues: r.Report.CertifiedRescues,
-		}
-		if r.Report.Final != nil {
-			rep.Final = toPublicReport(r.Report.Final)
-		}
-		for _, h := range r.Report.History {
-			rep.MaxSigmaHistory = append(rep.MaxSigmaHistory, h.MaxSigma)
-		}
-		out.Reports[i] = rep
+		out.Reports[i] = toPublicEnforceReport(r.Report)
 	}
-	return out, nil
+	return out
+}
+
+// EnforcePassivityBatch enforces passivity on a library of macromodels in
+// place, sharding models across workers with per-worker reusable
+// workspaces and per-model evaluation caches. Every model is attempted;
+// per-model failures are reported in Errors without aborting the batch.
+// The per-model outcomes are bitwise identical to calling EnforcePassivity
+// on each model sequentially with the same options. Like the other root
+// functions it delegates to the shared default Session, so a repeated
+// sweep over the same library starts with warm pole-basis caches; use
+// Session.EnforceBatch directly for cancellation and progress events.
+func EnforcePassivityBatch(models []*Macromodel, opts BatchEnforceOptions) (*BatchEnforceReport, error) {
+	return defaultSession.EnforceBatch(context.Background(), models, opts)
 }
 
 // EnforcePassivity removes passivity violations in place by iterative
 // residue perturbation (paper eqs. 8–10). With opts.Weight set it runs the
 // paper's sensitivity-weighted scheme; otherwise the standard L2 scheme.
+// It is a thin wrapper over the shared default Session with a background
+// context (see Session for cancellation, progress and cache control);
+// results are bitwise identical either way.
 func EnforcePassivity(m *Macromodel, opts EnforceOptions) (*EnforceReport, error) {
-	eopts := passivity.EnforceOptions{
-		Check:         opts.Check.internal(),
-		MaxIterations: opts.MaxIterations,
-		Margin:        opts.Margin,
-		ClampD:        opts.ClampD,
-		Certify:       opts.Certify,
-	}
-	var rep *passivity.EnforceReport
-	var err error
-	if opts.Weight != nil {
-		rep, err = core.EnforceWeighted(m.model, opts.Weight.model, eopts)
-	} else {
-		rep, err = passivity.Enforce(m.model, eopts)
-	}
+	rep, err := defaultSession.Enforce(context.Background(), m, opts)
 	if err != nil {
+		// Preserve the historical contract of the stateless wrapper: report
+		// or error, never both (Session.Enforce returns partial reports
+		// alongside convergence errors).
 		return nil, err
 	}
-	out := &EnforceReport{
-		Passive:          rep.Passive,
-		Iterations:       rep.Iterations,
-		DClamped:         rep.DClamped,
-		Final:            toPublicReport(rep.Final),
-		Certificate:      toPublicCertificate(rep.Certificate),
-		CertifiedRescues: rep.CertifiedRescues,
-	}
-	for _, h := range rep.History {
-		out.MaxSigmaHistory = append(out.MaxSigmaHistory, h.MaxSigma)
-	}
-	return out, nil
+	return rep, nil
 }

@@ -3,6 +3,7 @@ package repro
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"os"
 
@@ -118,9 +119,36 @@ func LogFreqGrid(fmin, fmax float64, n int, includeDC bool) []float64 {
 	return out
 }
 
+// ReadTouchstoneFrom loads scattering data in Touchstone v1 format from an
+// arbitrary stream — a network response, a decompressor, an archive entry —
+// without touching the filesystem. Unlike ReadTouchstone there is no
+// filename to infer the port count from, so ports must be positive.
+func ReadTouchstoneFrom(r io.Reader, ports int) (*SData, error) {
+	if ports <= 0 {
+		return nil, fmt.Errorf("repro: ReadTouchstoneFrom needs a positive port count (got %d)", ports)
+	}
+	td, err := touchstone.Read(r, ports)
+	if err != nil {
+		return nil, err
+	}
+	if td.Parameter != touchstone.ParamS {
+		return nil, fmt.Errorf("repro: stream holds %c-parameters; only S supported here", td.Parameter)
+	}
+	d := &SData{Freq: td.Freq, S: td.Matrices, R0: td.R0}
+	return d, d.Validate()
+}
+
+// WriteTouchstoneTo writes the dataset in Touchstone v1 format (Hz, RI) to
+// an arbitrary stream — the symmetric counterpart of ReadTouchstoneFrom.
+func WriteTouchstoneTo(w io.Writer, d *SData) error {
+	return touchstone.Write(w, &touchstone.Data{
+		Freq: d.Freq, Matrices: d.S, Parameter: touchstone.ParamS, R0: d.R0,
+	})
+}
+
 // ReadTouchstone loads scattering data from a Touchstone v1 file. The port
 // count is taken from the .sNp extension when parsable, otherwise it must
-// be positive in the ports argument.
+// be positive in the ports argument. It delegates to ReadTouchstoneFrom.
 func ReadTouchstone(path string, ports int) (*SData, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -133,27 +161,26 @@ func ReadTouchstone(path string, ports int) (*SData, error) {
 			return nil, fmt.Errorf("repro: cannot infer port count from %q, pass it explicitly", path)
 		}
 	}
-	td, err := touchstone.Read(f, ports)
+	d, err := ReadTouchstoneFrom(f, ports)
 	if err != nil {
-		return nil, err
+		// The stream errors already carry the package prefix; add the path.
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	if td.Parameter != touchstone.ParamS {
-		return nil, fmt.Errorf("repro: %q holds %c-parameters; only S supported here", path, td.Parameter)
-	}
-	d := &SData{Freq: td.Freq, S: td.Matrices, R0: td.R0}
-	return d, d.Validate()
+	return d, nil
 }
 
-// WriteTouchstone writes the dataset to a Touchstone v1 file (Hz, RI).
+// WriteTouchstone writes the dataset to a Touchstone v1 file (Hz, RI) via
+// WriteTouchstoneTo.
 func WriteTouchstone(path string, d *SData) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return touchstone.Write(f, &touchstone.Data{
-		Freq: d.Freq, Matrices: d.S, Parameter: touchstone.ParamS, R0: d.R0,
-	})
+	if err := WriteTouchstoneTo(f, d); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func portsFromExtension(path string) int {

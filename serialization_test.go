@@ -1,8 +1,11 @@
 package repro_test
 
 import (
+	"bytes"
 	"encoding/json"
 	"math/cmplx"
+	"os"
+	"strings"
 	"testing"
 
 	repro "repro"
@@ -142,6 +145,98 @@ func TestWeightJSONRoundTrip(t *testing.T) {
 	}
 	if _, err := repro.LoadWeightFile(t.TempDir() + "/missing.json"); err == nil {
 		t.Fatal("missing file accepted")
+	}
+}
+
+// TestTouchstoneStreamRoundTrip: WriteTouchstoneTo/ReadTouchstoneFrom
+// carry a dataset through an in-memory stream with no temp files, and the
+// path-based functions (which now delegate to them) agree with the stream
+// pair exactly.
+func TestTouchstoneStreamRoundTrip(t *testing.T) {
+	freqs := repro.LogFreqGrid(1e3, 2e9, 25, false)
+	syn, err := repro.GeneratePDN(repro.PDNSmall, freqs, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := repro.WriteTouchstoneTo(&buf, syn.Data); err != nil {
+		t.Fatal(err)
+	}
+	back, err := repro.ReadTouchstoneFrom(bytes.NewReader(buf.Bytes()), syn.Data.Ports())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Ports() != syn.Data.Ports() || back.Points() != syn.Data.Points() {
+		t.Fatalf("shape changed: %d ports/%d points, want %d/%d",
+			back.Ports(), back.Points(), syn.Data.Ports(), syn.Data.Points())
+	}
+	for k := range back.Freq {
+		for i := 0; i < back.Ports(); i++ {
+			for j := 0; j < back.Ports(); j++ {
+				if d := cmplx.Abs(back.At(k, i, j) - syn.Data.At(k, i, j)); d > 1e-9 {
+					t.Fatalf("sample %d (%d,%d): |Δ| = %g", k, i, j, d)
+				}
+			}
+		}
+	}
+	// The stream reader cannot infer ports and must say so.
+	if _, err := repro.ReadTouchstoneFrom(bytes.NewReader(buf.Bytes()), 0); err == nil {
+		t.Fatal("ReadTouchstoneFrom accepted ports=0")
+	}
+	// Path-based functions agree with the stream pair byte for byte.
+	path := t.TempDir() + "/net.s8p"
+	if err := repro.WriteTouchstone(path, syn.Data); err != nil {
+		t.Fatal(err)
+	}
+	onDisk, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(onDisk, buf.Bytes()) {
+		t.Fatal("WriteTouchstone and WriteTouchstoneTo produced different bytes")
+	}
+	fromDisk, err := repro.ReadTouchstone(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromDisk.Points() != back.Points() || fromDisk.Ports() != back.Ports() {
+		t.Fatal("ReadTouchstone and ReadTouchstoneFrom disagree")
+	}
+}
+
+// TestWeightStreamRoundTrip: Weight.Save/ReadWeight mirror the file pair
+// on an arbitrary stream, including the stability gate.
+func TestWeightStreamRoundTrip(t *testing.T) {
+	freqs := repro.LogFreqGrid(1e3, 2e9, 40, false)
+	syn, err := repro.GeneratePDN(repro.PDNSmall, freqs, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xi, err := repro.Sensitivity(syn.Data, syn.Load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := repro.FitWeight(freqs, xi, 6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := w.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := repro.ReadWeight(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []float64{1e3, 1e6, 1e9} {
+		if back.Eval(f) != w.Eval(f) {
+			t.Fatalf("|W(%g)| changed across stream round trip", f)
+		}
+	}
+	// An unstable weight must be rejected by the stream reader too.
+	unstable := `{"poles":[[1,0]],"residues":[[1,0]],"d":0}`
+	if _, err := repro.ReadWeight(strings.NewReader(unstable)); err == nil {
+		t.Fatal("ReadWeight accepted unstable poles")
 	}
 }
 

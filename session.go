@@ -1,0 +1,729 @@
+package repro
+
+import (
+	"container/list"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/passivity"
+	"repro/internal/rational"
+)
+
+// ProgressKind classifies the events a Session progress sink receives.
+type ProgressKind string
+
+// Progress event kinds delivered to WithProgress sinks.
+const (
+	// ProgressCheck reports a completed passivity check (inside an
+	// enforcement run that is one event per sweep).
+	ProgressCheck ProgressKind = "check"
+	// ProgressIteration reports one applied enforcement perturbation.
+	ProgressIteration ProgressKind = "iteration"
+	// ProgressCertificateStage reports a completed certification-pipeline
+	// stage.
+	ProgressCertificateStage ProgressKind = "certificate-stage"
+)
+
+// ProgressEvent is one observation of a running Session operation,
+// delivered synchronously (and serialized — handlers never run
+// concurrently) to the sink installed by WithProgress.
+type ProgressEvent struct {
+	// Kind classifies the event.
+	Kind ProgressKind
+	// Model is the batch model index the event belongs to, -1 for
+	// single-model operations.
+	Model int
+	// Iteration is the 1-based enforcement sweep count (iteration events).
+	Iteration int
+	// MaxSigma is the worst singular value the step observed.
+	MaxSigma float64
+	// Passive is the step's verdict (check events).
+	Passive bool
+	// Stage names the certification stage (certificate-stage events).
+	Stage string
+	// Samples counts the σ(ω) evaluations the step spent.
+	Samples int
+}
+
+// DefaultSessionCacheBudget bounds the estimated bytes a Session keeps in
+// evaluation caches before whole least-recently-used model caches are
+// evicted (256 MiB). Override with WithCacheBudget.
+const DefaultSessionCacheBudget int64 = 256 << 20
+
+// SessionOption configures NewSession.
+type SessionOption func(*Session)
+
+// WithWorkers sets the default worker count of the session's checks and
+// batch runs (0 keeps the per-call/GOMAXPROCS default). An explicit
+// Workers in a call's options still wins.
+func WithWorkers(n int) SessionOption {
+	return func(s *Session) { s.workers = n }
+}
+
+// WithMethod sets the default passivity detection method applied whenever
+// a call's CheckOptions leave Method at CheckAuto.
+func WithMethod(m CheckMethod) SessionOption {
+	return func(s *Session) { s.method = m }
+}
+
+// WithCertify makes every check and enforcement of the session certified
+// (equivalent to setting Certify on each call's options): passive verdicts
+// escalate through the staged certification pipeline.
+func WithCertify(on bool) SessionOption {
+	return func(s *Session) { s.certify = on }
+}
+
+// WithProgress installs a progress sink receiving sweep, iteration and
+// certificate-stage events from every session operation. Events are
+// delivered synchronously on the working goroutine but serialized across
+// workers, so the sink needs no locking of its own; it must return
+// quickly.
+func WithProgress(fn func(ProgressEvent)) SessionOption {
+	return func(s *Session) { s.progress = fn }
+}
+
+// WithCacheBudget bounds the estimated bytes of evaluation-cache state the
+// session retains across calls; the least-recently-used model caches are
+// evicted beyond it. bytes ≤ 0 removes the bound (not recommended for
+// long-running services). The default is DefaultSessionCacheBudget.
+func WithCacheBudget(bytes int64) SessionOption {
+	return func(s *Session) { s.budget = bytes }
+}
+
+// sessionCache is one per-pole-set evaluation cache retained by a Session,
+// with the fingerprints guarding its validity and its LRU links.
+type sessionCache struct {
+	cache *passivity.EvalCache
+	// poles is the exact pole set the basis layer was computed from; a
+	// fingerprint match is only trusted after an exact pole comparison.
+	poles []complex128
+	// poleFP keys the cache (FNV-1a over the pole bits).
+	poleFP uint64
+	// resFP fingerprints the residues + D the σ layer is valid for; on
+	// mismatch the σ layer is dropped, the basis layer kept.
+	resFP uint64
+	// bytes is the estimated resident size, updated at check-in.
+	bytes int64
+	// basisN/sigmaN snapshot the cache layer sizes at check-in (or load):
+	// CacheStats must not read the live cache maps, which a checked-out
+	// operation may be writing concurrently.
+	basisN, sigmaN int
+	// busy marks the cache as checked out by a running operation (caches
+	// are single-goroutine state; concurrent operations on the same pole
+	// set fall back to a private transient cache).
+	busy bool
+	// elem is the entry's node in the session recency list.
+	elem *list.Element
+}
+
+// Session is a long-lived engine for the iterative fit → weight → enforce →
+// re-check workflow. It owns shared defaults (workers, detection method,
+// certification policy, progress sink) and — unlike the stateless root
+// functions, which rebuild evaluation state on every call — a bounded pool
+// of per-pole-set EvalCaches that survive across Check, Enforce,
+// EnforceBatch and Extract calls: repeated sweeps over a fixed-pole model
+// library reuse the pole-basis vectors (and, for unchanged residues, the σ
+// samples) instead of recomputing them. Caches persist across processes
+// via SaveCache/LoadCache.
+//
+// All methods take a leading context.Context and stop cooperatively when
+// it is cancelled: parallel fan-outs drain deterministically, no goroutine
+// outlives the call, and enforcement methods return ctx.Err() together
+// with a partial report covering the work already done.
+//
+// A Session is safe for concurrent use. Results are bitwise identical to
+// the stateless root functions: a cache can only change where values are
+// recomputed, never the values themselves.
+type Session struct {
+	workers  int
+	method   CheckMethod
+	certify  bool
+	progress func(ProgressEvent)
+	budget   int64
+
+	mu        sync.Mutex
+	caches    map[uint64]*sessionCache
+	lru       *list.List // of *sessionCache; front = most recent
+	used      int64
+	evictions int
+
+	progressMu sync.Mutex
+}
+
+// NewSession builds a Session with the given options. The zero
+// configuration (no options) matches the root free functions' defaults —
+// in fact those functions delegate to a shared default Session.
+func NewSession(opts ...SessionOption) *Session {
+	s := &Session{
+		budget: DefaultSessionCacheBudget,
+		caches: make(map[uint64]*sessionCache),
+		lru:    list.New(),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// defaultSession backs the stateless root functions (CheckPassivity,
+// EnforcePassivity, EnforcePassivityBatch, Extract): they are thin
+// wrappers over it with a background context.
+var defaultSession = NewSession()
+
+// DefaultSession returns the shared Session behind the stateless root
+// functions, so services that call them directly can inspect it
+// (CacheStats) or release its memory (Reset). Its cache budget is
+// DefaultSessionCacheBudget; build a private Session with NewSession to
+// choose different policies.
+func DefaultSession() *Session { return defaultSession }
+
+// Reset drops every resident evaluation cache, returning the session to
+// its empty cold state. Caches checked out by operations still running
+// are left in place and rejoin the pool when those operations complete.
+// The eviction counter is preserved.
+func (s *Session) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, e := range s.caches {
+		if !e.busy {
+			s.removeLocked(e)
+		}
+	}
+}
+
+// fnvMix folds one 64-bit word into an FNV-1a hash.
+func fnvMix(h, w uint64) uint64 {
+	const prime = 1099511628211
+	for shift := 0; shift < 64; shift += 8 {
+		h ^= (w >> shift) & 0xff
+		h *= prime
+	}
+	return h
+}
+
+const fnvOffset = 14695981039346656037
+
+// poleFingerprint hashes a pole set (exact bit patterns, order-sensitive).
+func poleFingerprint(poles []complex128) uint64 {
+	h := uint64(fnvOffset)
+	for _, p := range poles {
+		h = fnvMix(h, math.Float64bits(real(p)))
+		h = fnvMix(h, math.Float64bits(imag(p)))
+	}
+	return h
+}
+
+// residueFingerprint hashes everything the σ layer depends on besides the
+// poles: the residue matrices and the direct coupling D.
+func residueFingerprint(m *rational.Model) uint64 {
+	h := uint64(fnvOffset)
+	for _, r := range m.Residues {
+		for _, z := range r.Data {
+			h = fnvMix(h, math.Float64bits(real(z)))
+			h = fnvMix(h, math.Float64bits(imag(z)))
+		}
+	}
+	p := m.D.Rows
+	for i := 0; i < p; i++ {
+		for _, v := range m.D.Row(i) {
+			h = fnvMix(h, math.Float64bits(v))
+		}
+	}
+	return h
+}
+
+func equalPoles(a, b []complex128) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// touchLocked moves e to the recency front, registering it on first use.
+// Callers hold s.mu.
+func (s *Session) touchLocked(e *sessionCache) {
+	if e.elem == nil {
+		e.elem = s.lru.PushFront(e)
+		return
+	}
+	s.lru.MoveToFront(e.elem)
+}
+
+// removeLocked unlinks e from the registry. Callers hold s.mu.
+func (s *Session) removeLocked(e *sessionCache) {
+	s.lru.Remove(e.elem)
+	e.elem = nil
+	delete(s.caches, e.poleFP)
+	s.used -= e.bytes
+}
+
+// evictLocked enforces the byte budget by dropping whole caches from the
+// cold end, skipping the ones checked out by running operations. Callers
+// hold s.mu.
+func (s *Session) evictLocked() {
+	if s.budget <= 0 {
+		return
+	}
+	for el := s.lru.Back(); el != nil && s.used > s.budget; {
+		prev := el.Prev()
+		if e := el.Value.(*sessionCache); !e.busy {
+			s.removeLocked(e)
+			s.evictions++
+		}
+		el = prev
+	}
+}
+
+// cacheBytes estimates the resident size of one cache: per basis entry the
+// vector itself plus node/map overhead, plus the σ layer and hot seeds.
+func cacheBytes(c *passivity.EvalCache, nPoles int) int64 {
+	return int64(c.BasisEntries())*(int64(nPoles)*16+120) +
+		int64(c.SigmaEntries())*32 + int64(len(c.Hot()))*8
+}
+
+// checkout hands the caller the session cache for the model's pole set,
+// marking it busy. The σ layer is dropped when the model's residues differ
+// from the ones it was computed for, and the warm-start hot seeds are
+// cleared so a session-routed run samples exactly like a stateless one.
+// When the cache is already checked out (a concurrent operation on the
+// same pole set) or a fingerprint collision is detected, the caller gets a
+// private transient cache and a nil entry.
+func (s *Session) checkout(m *rational.Model) (*sessionCache, *passivity.EvalCache) {
+	poleFP := poleFingerprint(m.Poles)
+	resFP := residueFingerprint(m)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.caches[poleFP]
+	if e == nil {
+		e = &sessionCache{
+			cache:  passivity.NewEvalCache(),
+			poles:  append([]complex128(nil), m.Poles...),
+			poleFP: poleFP,
+			resFP:  resFP,
+			busy:   true,
+		}
+		s.caches[poleFP] = e
+		s.touchLocked(e)
+		return e, e.cache
+	}
+	if e.busy || !equalPoles(e.poles, m.Poles) {
+		return nil, passivity.NewEvalCache()
+	}
+	if e.resFP != resFP {
+		e.cache.InvalidateSigma()
+		e.resFP = resFP
+	}
+	e.cache.SetHot(nil)
+	e.busy = true
+	s.touchLocked(e)
+	return e, e.cache
+}
+
+// checkin returns a checked-out cache, refreshing its residue fingerprint
+// (enforcement moves residues in place) and byte estimate, and applies the
+// session budget.
+func (s *Session) checkin(e *sessionCache, m *rational.Model) {
+	if e == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e.resFP = residueFingerprint(m)
+	s.used -= e.bytes
+	e.bytes = cacheBytes(e.cache, len(e.poles))
+	e.basisN = e.cache.BasisEntries()
+	e.sigmaN = e.cache.SigmaEntries()
+	s.used += e.bytes
+	e.busy = false
+	s.evictLocked()
+}
+
+// SessionCacheStats summarizes the evaluation-cache state a Session
+// currently retains.
+type SessionCacheStats struct {
+	// Models counts the resident pole-set caches.
+	Models int
+	// BasisEntries and SigmaEntries sum the two cache layers over all
+	// resident caches.
+	BasisEntries, SigmaEntries int
+	// Bytes is the estimated resident size charged against the budget.
+	Bytes int64
+	// Evictions counts whole caches dropped by the session LRU bound.
+	Evictions int
+}
+
+// CacheStats reports the session's resident cache state. Entry counts are
+// the snapshots taken when each cache was last checked in, so a cache
+// checked out by a running operation contributes its pre-operation counts
+// (reading the live maps would race with the worker writing them).
+func (s *Session) CacheStats() SessionCacheStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := SessionCacheStats{Models: len(s.caches), Bytes: s.used, Evictions: s.evictions}
+	for _, e := range s.caches {
+		st.BasisEntries += e.basisN
+		st.SigmaEntries += e.sigmaN
+	}
+	return st
+}
+
+// progressFunc adapts the session sink to the internal event stream,
+// serializing delivery across concurrent batch workers.
+func (s *Session) progressFunc() passivity.ProgressFunc {
+	if s.progress == nil {
+		return nil
+	}
+	return func(ev passivity.ProgressEvent) {
+		s.progressMu.Lock()
+		defer s.progressMu.Unlock()
+		s.progress(ProgressEvent{
+			Kind:      ProgressKind(ev.Kind),
+			Model:     ev.Model,
+			Iteration: ev.Iteration,
+			MaxSigma:  ev.MaxSigma,
+			Passive:   ev.Passive,
+			Stage:     ev.Stage,
+			Samples:   ev.Samples,
+		})
+	}
+}
+
+// applyDefaults folds the session-wide defaults into one call's check
+// options: the session method fills an Auto method, the session worker
+// count fills an unset Workers, and the session certify policy turns
+// certification on (an explicitly certified call stays certified either
+// way).
+func (s *Session) applyDefaults(opts CheckOptions) CheckOptions {
+	if opts.Method == CheckAuto && !opts.ForceSweep && s.method != CheckAuto {
+		opts.Method = s.method
+	}
+	if opts.Workers == 0 && s.workers != 0 {
+		opts.Workers = s.workers
+	}
+	if s.certify {
+		opts.Certify = true
+	}
+	return opts
+}
+
+// internalCheck builds the internal options for a session call: session
+// defaults, context, progress sink and the checked-out cache.
+func (s *Session) internalCheck(ctx context.Context, opts CheckOptions, cache *passivity.EvalCache, model int) passivity.CheckOptions {
+	iopts := s.applyDefaults(opts).internal()
+	iopts.Ctx = ctx
+	iopts.Progress = s.progressFunc()
+	iopts.ProgressModel = model
+	iopts.Cache = cache
+	return iopts
+}
+
+// Check assesses the passivity of the model like CheckPassivity, reusing
+// the session's evaluation cache for the model's pole set: a repeated
+// check of an unchanged model is served almost entirely from the σ layer,
+// and a re-check after residue perturbations still reuses every pole-basis
+// vector. Cancelling ctx aborts cooperatively with ctx.Err().
+func (s *Session) Check(ctx context.Context, m *Macromodel, opts CheckOptions) (*PassivityReport, error) {
+	e, cache := s.checkout(m.model)
+	iopts := s.internalCheck(ctx, opts, cache, -1)
+	rep, err := passivity.Check(m.model, iopts)
+	s.checkin(e, m.model)
+	if err != nil {
+		return nil, err
+	}
+	return toPublicReport(rep), nil
+}
+
+// Enforce removes passivity violations of the model in place like
+// EnforcePassivity, with the session's cache, defaults, progress sink and
+// cancellation. On ctx cancellation it returns the partial report of the
+// sweeps already applied together with ctx.Err(); the model keeps those
+// perturbations.
+func (s *Session) Enforce(ctx context.Context, m *Macromodel, opts EnforceOptions) (*EnforceReport, error) {
+	e, cache := s.checkout(m.model)
+	rep, err := s.enforceWith(ctx, m, opts, cache, -1)
+	s.checkin(e, m.model)
+	return rep, err
+}
+
+// enforceWith runs one enforcement with an explicit cache and model tag.
+func (s *Session) enforceWith(ctx context.Context, m *Macromodel, opts EnforceOptions, cache *passivity.EvalCache, model int) (*EnforceReport, error) {
+	eopts := passivity.EnforceOptions{
+		Check:         s.internalCheck(ctx, opts.Check, cache, model),
+		MaxIterations: opts.MaxIterations,
+		Margin:        opts.Margin,
+		ClampD:        opts.ClampD,
+		Certify:       opts.Certify || s.certify,
+	}
+	// The engine certifies on convergence itself; the per-sweep checks stay
+	// on the fast method (mirrors EnforcePassivity).
+	eopts.Check.Certify = false
+	var rep *passivity.EnforceReport
+	var err error
+	if opts.Weight != nil {
+		rep, err = core.EnforceWeighted(m.model, opts.Weight.model, eopts)
+	} else {
+		rep, err = passivity.Enforce(m.model, eopts)
+	}
+	return toPublicEnforceReport(rep), err
+}
+
+// Fit identifies a macromodel like Fit, under the session's context: the
+// call is checked for cancellation up front (the fitting solves themselves
+// are not interruptible) and tagged with the session defaults where they
+// apply. The fitted model's future checks and enforcements then hit the
+// session cache.
+func (s *Session) Fit(ctx context.Context, data *SData, opts FitOptions) (*Macromodel, *FitReport, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	return Fit(data, opts)
+}
+
+// Extract runs the paper's complete flow like Extract, routing the
+// passivity check and enforcement stages through the session (shared
+// caches, progress events, cancellation between and inside stages).
+func (s *Session) Extract(ctx context.Context, data *SData, load *Load, opts ExtractOptions) (*ExtractResult, error) {
+	return extractWith(ctx, s, data, load, opts)
+}
+
+// EnforceBatch enforces passivity on a library of macromodels like
+// EnforcePassivityBatch, sharding models across workers with the session's
+// per-pole-set caches: a second sweep over the same library starts with
+// every pole basis (and unchanged σ sample) warm. When ctx cancellation
+// cuts the batch short, the returned report is partial — completed models
+// keep their results, cancelled ones carry ctx.Err() — and the error is
+// ctx.Err(); a cancellation arriving only after every model drained
+// returns the complete report with a nil error.
+func (s *Session) EnforceBatch(ctx context.Context, models []*Macromodel, opts BatchEnforceOptions) (*BatchEnforceReport, error) {
+	if opts.Weights != nil && len(opts.Weights) != len(models) {
+		return nil, fmt.Errorf("repro: %d weights for %d models", len(opts.Weights), len(models))
+	}
+	raw := make([]*rational.Model, len(models))
+	for i, m := range models {
+		raw[i] = m.model
+	}
+	// Caches are leased per model from the owning worker, not pinned for
+	// the whole batch: at any moment only ~workers caches are checked out,
+	// so the session byte budget keeps bounding resident memory even
+	// across huge libraries. Duplicates of a pole set running concurrently
+	// (and caches busy elsewhere) fall back to private transient caches.
+	// entries[i] is written by CacheFor and read by CacheDone on the same
+	// worker goroutine — no cross-worker sharing.
+	entries := make([]*sessionCache, len(models))
+	bopts := passivity.BatchOptions{
+		Enforce: passivity.EnforceOptions{
+			Check:         s.internalCheck(ctx, opts.Enforce.Check, nil, -1),
+			MaxIterations: opts.Enforce.MaxIterations,
+			Margin:        opts.Enforce.Margin,
+			ClampD:        opts.Enforce.ClampD,
+			Certify:       opts.Enforce.Certify || s.certify,
+		},
+		Workers: opts.Workers,
+		Ctx:     ctx,
+		CacheFor: func(i int) *passivity.EvalCache {
+			e, c := s.checkout(raw[i])
+			entries[i] = e
+			return c
+		},
+		CacheDone: func(i int) {
+			s.checkin(entries[i], raw[i])
+			entries[i] = nil
+		},
+		Progress: s.progressFunc(),
+	}
+	bopts.Enforce.Check.Certify = false
+	bopts.Enforce.Check.Cache = nil
+	if opts.Workers == 0 && s.workers != 0 {
+		bopts.Workers = s.workers
+	}
+	if w := opts.Enforce.Weight; w != nil {
+		bopts.Weight = w.model
+	}
+	if opts.Weights != nil {
+		bopts.Weights = make([]*rational.Model, len(opts.Weights))
+		for i, w := range opts.Weights {
+			if w != nil {
+				bopts.Weights[i] = w.model
+			}
+		}
+	}
+	brep := passivity.EnforceBatch(raw, bopts)
+	out := toPublicBatchReport(len(models), brep)
+	// A cancelled context only makes the report partial if it actually cut
+	// the batch short; a cancellation racing in after the last model
+	// drained leaves a complete report, which callers should not retry.
+	if err := ctx.Err(); err != nil {
+		for _, e := range out.Errors {
+			if errors.Is(e, err) {
+				return out, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// --- Cache persistence -------------------------------------------------
+
+const (
+	sessionCacheMagic   = 0x53455343 // "SESC"
+	sessionCacheVersion = 1
+	// SessionCacheExt is the filename extension of persisted session
+	// caches (one file per pole-set fingerprint).
+	SessionCacheExt = ".evc"
+)
+
+// SaveCache persists every resident evaluation cache to dir (created if
+// missing), one file per pole-set fingerprint, readable by LoadCache.
+// Repeated library sweeps across process restarts then start warm: the
+// pole-basis layers — and the σ layers of models whose residues are
+// unchanged — are reloaded instead of recomputed. Caches checked out by
+// concurrently running operations are skipped. Files are written
+// atomically (temp file + rename), so a SIGINT during save leaves no torn
+// cache behind.
+func (s *Session) SaveCache(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	var entries []*sessionCache
+	for _, e := range s.caches {
+		if !e.busy {
+			e.busy = true // pin against concurrent checkout during the save
+			entries = append(entries, e)
+		}
+	}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		for _, e := range entries {
+			e.busy = false
+		}
+		s.mu.Unlock()
+	}()
+	sort.Slice(entries, func(a, b int) bool { return entries[a].poleFP < entries[b].poleFP })
+	for _, e := range entries {
+		if err := saveSessionCacheFile(dir, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func saveSessionCacheFile(dir string, e *sessionCache) error {
+	path := filepath.Join(dir, fmt.Sprintf("cache-%016x%s", e.poleFP, SessionCacheExt))
+	tmp, err := os.CreateTemp(dir, "cache-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := writeSessionCache(tmp, e); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+func writeSessionCache(w io.Writer, e *sessionCache) error {
+	head := []uint64{
+		uint64(sessionCacheMagic)<<32 | sessionCacheVersion,
+		e.poleFP,
+		e.resFP,
+		uint64(len(e.poles)),
+	}
+	if err := binary.Write(w, binary.LittleEndian, head); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, e.poles); err != nil {
+		return err
+	}
+	return e.cache.Save(w)
+}
+
+// LoadCache loads every cache file previously written by SaveCache from
+// dir into the session, skipping fingerprints that are already resident
+// (the live cache is at least as warm) and unreadable or corrupt files
+// (reported in the returned error after all loadable files are in). The
+// session byte budget applies: caches beyond it are LRU-evicted.
+func (s *Session) LoadCache(dir string) error {
+	paths, err := filepath.Glob(filepath.Join(dir, "cache-*"+SessionCacheExt))
+	if err != nil {
+		return err
+	}
+	sort.Strings(paths)
+	var firstErr error
+	for _, path := range paths {
+		if err := s.loadCacheFile(path); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("repro: loading %s: %w", path, err)
+		}
+	}
+	return firstErr
+}
+
+func (s *Session) loadCacheFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var head [4]uint64
+	if err := binary.Read(f, binary.LittleEndian, head[:]); err != nil {
+		return err
+	}
+	if head[0]>>32 != sessionCacheMagic {
+		return fmt.Errorf("bad magic %#x", head[0]>>32)
+	}
+	if v := head[0] & 0xffffffff; v != sessionCacheVersion {
+		return fmt.Errorf("unsupported version %d", v)
+	}
+	nPoles := head[3]
+	if nPoles > 1<<20 {
+		return fmt.Errorf("implausible pole count %d", nPoles)
+	}
+	poles := make([]complex128, nPoles)
+	if err := binary.Read(f, binary.LittleEndian, poles); err != nil {
+		return err
+	}
+	if fp := poleFingerprint(poles); fp != head[1] {
+		return fmt.Errorf("pole fingerprint mismatch (file %016x, poles %016x)", head[1], fp)
+	}
+	cache, err := passivity.LoadEvalCache(f)
+	if err != nil {
+		return err
+	}
+	e := &sessionCache{
+		cache:  cache,
+		poles:  poles,
+		poleFP: head[1],
+		resFP:  head[2],
+		bytes:  cacheBytes(cache, len(poles)),
+		basisN: cache.BasisEntries(),
+		sigmaN: cache.SigmaEntries(),
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.caches[e.poleFP]; exists {
+		return nil // live cache wins
+	}
+	s.caches[e.poleFP] = e
+	s.used += e.bytes
+	s.touchLocked(e)
+	s.evictLocked()
+	return nil
+}

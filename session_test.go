@@ -1,0 +1,267 @@
+package repro_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	repro "repro"
+)
+
+func violatingLibrary(t *testing.T, n int, poles int) []*repro.Macromodel {
+	t.Helper()
+	models := make([]*repro.Macromodel, n)
+	for i := range models {
+		m, err := repro.SyntheticMacromodel(repro.SyntheticModelOptions{
+			Ports: 2, Poles: poles, Seed: 900 + int64(i), PeakGain: 0.9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		models[i] = m
+	}
+	return models
+}
+
+// settleGoroutines waits for the goroutine count to drop back to the
+// baseline, tolerating runtime bookkeeping with a bounded settle loop.
+func settleGoroutines(t *testing.T, before int) {
+	t.Helper()
+	var after int
+	for i := 0; i < 200; i++ {
+		after = runtime.NumGoroutine()
+		if after <= before {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after settle", before, after)
+}
+
+// TestSessionEnforceBatchCancellation: cancelling mid-batch must surface
+// context.Canceled, leave a coherent partial report (every slot either
+// completed, carries its own partial report with the context error, or
+// carries the context error alone), and leak no goroutines.
+func TestSessionEnforceBatchCancellation(t *testing.T) {
+	models := violatingLibrary(t, 8, 24)
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var events int64
+	s := repro.NewSession(repro.WithProgress(func(ev repro.ProgressEvent) {
+		// Cancel from inside the work, after the batch is demonstrably
+		// running: the progress sink fires on the worker goroutines.
+		if atomic.AddInt64(&events, 1) == 3 {
+			cancel()
+		}
+	}))
+	rep, err := s.EnforceBatch(ctx, models, repro.BatchEnforceOptions{
+		Enforce: repro.EnforceOptions{
+			Check:  repro.CheckOptions{Method: repro.CheckAdaptive},
+			ClampD: true,
+		},
+		Workers: 2,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if rep == nil {
+		t.Fatal("cancellation must still return the partial report")
+	}
+	if rep.Models != len(models) || len(rep.Reports) != len(models) || len(rep.Errors) != len(models) {
+		t.Fatalf("partial report lost its shape: %d models, %d reports, %d errors",
+			rep.Models, len(rep.Reports), len(rep.Errors))
+	}
+	cancelled := 0
+	for i := range models {
+		switch {
+		case rep.Errors[i] == nil:
+			if rep.Reports[i] == nil || rep.Reports[i].Final == nil {
+				t.Fatalf("model %d: no error but no complete report either", i)
+			}
+		case errors.Is(rep.Errors[i], context.Canceled):
+			cancelled++
+			// A claimed-then-cancelled model carries a partial report whose
+			// iteration history matches its length; an unclaimed one has none.
+			if r := rep.Reports[i]; r != nil && len(r.MaxSigmaHistory) != r.Iterations {
+				t.Fatalf("model %d: incoherent partial report: %d history entries, %d iterations",
+					i, len(r.MaxSigmaHistory), r.Iterations)
+			}
+		default:
+			t.Fatalf("model %d: unexpected error %v", i, rep.Errors[i])
+		}
+	}
+	if cancelled == 0 {
+		t.Fatal("cancellation raced past the whole batch; no model was cancelled")
+	}
+	settleGoroutines(t, before)
+}
+
+// TestSessionCheckCancelledContext: a pre-cancelled context aborts before
+// any work.
+func TestSessionCheckCancelledContext(t *testing.T) {
+	m := violatingLibrary(t, 1, 12)[0]
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := repro.NewSession()
+	if _, err := s.Check(ctx, m, repro.CheckOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Check: got %v, want context.Canceled", err)
+	}
+	if _, err := s.Enforce(ctx, m, repro.EnforceOptions{ClampD: true}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Enforce: got %v, want context.Canceled", err)
+	}
+	if _, _, err := s.Fit(ctx, nil, repro.FitOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Fit: got %v, want context.Canceled", err)
+	}
+}
+
+// TestSessionCachePersistence: SaveCache/LoadCache carry the evaluation
+// state across sessions; a loaded-warm check returns the identical report.
+func TestSessionCachePersistence(t *testing.T) {
+	m := violatingLibrary(t, 1, 20)[0]
+	opts := repro.CheckOptions{Method: repro.CheckAdaptive}
+	dir := t.TempDir()
+
+	s1 := repro.NewSession()
+	want, err := s1.Check(context.Background(), m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1 := s1.CacheStats()
+	if st1.Models != 1 || st1.BasisEntries == 0 || st1.SigmaEntries == 0 {
+		t.Fatalf("first check left no cache state: %+v", st1)
+	}
+	if err := s1.SaveCache(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := repro.NewSession()
+	if err := s2.LoadCache(dir); err != nil {
+		t.Fatal(err)
+	}
+	st2 := s2.CacheStats()
+	if st2.Models != 1 || st2.BasisEntries != st1.BasisEntries || st2.SigmaEntries != st1.SigmaEntries {
+		t.Fatalf("reloaded cache state %+v, want %+v", st2, st1)
+	}
+	got, err := s2.Check(context.Background(), m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MaxSigma != want.MaxSigma || got.Samples != want.Samples || len(got.Violations) != len(want.Violations) {
+		t.Fatalf("warm-loaded check drifted: %+v vs %+v", got, want)
+	}
+	// Loading into a session that already holds the fingerprint is a no-op.
+	if err := s2.LoadCache(dir); err != nil {
+		t.Fatal(err)
+	}
+	if st := s2.CacheStats(); st.Models != 1 {
+		t.Fatalf("duplicate load created %d caches", st.Models)
+	}
+	// An empty directory loads cleanly.
+	if err := repro.NewSession().LoadCache(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSessionCacheBudgetEviction: the session byte budget evicts whole
+// model caches LRU-first.
+func TestSessionCacheBudgetEviction(t *testing.T) {
+	s := repro.NewSession(repro.WithCacheBudget(64 << 10))
+	for _, m := range violatingLibrary(t, 6, 20) {
+		if _, err := s.Check(context.Background(), m, repro.CheckOptions{Method: repro.CheckAdaptive}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.CacheStats()
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions under a 64 KiB budget: %+v", st)
+	}
+	if st.Bytes > 64<<10 {
+		t.Fatalf("resident bytes %d exceed the budget", st.Bytes)
+	}
+	if st.Models >= 6 {
+		t.Fatalf("all %d caches survived a budget sized for one", st.Models)
+	}
+}
+
+// TestSessionResetAndDefaultSession: Reset empties the cache pool, and
+// the shared default session behind the free functions is reachable for
+// inspection and flushing.
+func TestSessionResetAndDefaultSession(t *testing.T) {
+	m := violatingLibrary(t, 1, 16)[0]
+	s := repro.NewSession()
+	if _, err := s.Check(context.Background(), m, repro.CheckOptions{Method: repro.CheckAdaptive}); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.CacheStats(); st.Models != 1 || st.Bytes == 0 {
+		t.Fatalf("expected resident state before Reset: %+v", st)
+	}
+	s.Reset()
+	if st := s.CacheStats(); st.Models != 0 || st.Bytes != 0 {
+		t.Fatalf("Reset left state behind: %+v", st)
+	}
+	// A post-Reset check runs cold but still works and re-registers.
+	if _, err := s.Check(context.Background(), m, repro.CheckOptions{Method: repro.CheckAdaptive}); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.CacheStats(); st.Models != 1 {
+		t.Fatalf("post-Reset check did not repopulate: %+v", st)
+	}
+
+	ds := repro.DefaultSession()
+	if ds == nil {
+		t.Fatal("no default session")
+	}
+	if _, err := repro.CheckPassivity(m, repro.CheckOptions{Method: repro.CheckAdaptive}); err != nil {
+		t.Fatal(err)
+	}
+	if st := ds.CacheStats(); st.Models == 0 {
+		t.Fatal("free function did not populate the default session")
+	}
+	ds.Reset()
+	if st := ds.CacheStats(); st.Models != 0 {
+		t.Fatalf("default session Reset left state behind: %+v", st)
+	}
+}
+
+// TestSessionDefaultsAndProgress: session-wide method/certify defaults
+// apply, and the progress sink sees check, iteration and certificate
+// events with the single-model tag.
+func TestSessionDefaultsAndProgress(t *testing.T) {
+	m := violatingLibrary(t, 1, 10)[0]
+	kinds := map[repro.ProgressKind]int{}
+	models := map[int]bool{}
+	s := repro.NewSession(
+		repro.WithMethod(repro.CheckAdaptive),
+		repro.WithCertify(true),
+		repro.WithWorkers(1),
+		repro.WithProgress(func(ev repro.ProgressEvent) {
+			kinds[ev.Kind]++ // serialized delivery: no locking needed
+			models[ev.Model] = true
+		}),
+	)
+	rep, err := s.Check(context.Background(), m, repro.CheckOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Method != "adaptive" {
+		t.Fatalf("session method default ignored: %q", rep.Method)
+	}
+	enf, err := s.Enforce(context.Background(), m, repro.EnforceOptions{ClampD: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enf.Certificate == nil || !enf.Certificate.Certified {
+		t.Fatal("session certify default did not produce a certificate")
+	}
+	if kinds[repro.ProgressCheck] == 0 || kinds[repro.ProgressIteration] == 0 || kinds[repro.ProgressCertificateStage] == 0 {
+		t.Fatalf("missing progress kinds: %+v", kinds)
+	}
+	if len(models) != 1 || !models[-1] {
+		t.Fatalf("single-model events must be tagged -1, got %v", models)
+	}
+}

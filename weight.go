@@ -3,6 +3,7 @@ package repro
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"os"
 
@@ -105,20 +106,22 @@ func (w *Weight) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
-// SaveFile writes the weight as JSON, loadable by LoadWeightFile — the
-// persistence step that lets one fitted sensitivity weight drive repeated
-// weighted (batch) enforcement runs, e.g. via passcheck -weight.
-func (w *Weight) SaveFile(path string) error {
+// Save writes the weight as JSON to an arbitrary stream, loadable by
+// ReadWeight — the stream-level counterpart of SaveFile for services that
+// ship weights over the network or store them compressed.
+func (w *Weight) Save(dst io.Writer) error {
 	data, err := json.MarshalIndent(w, "", " ")
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, data, 0o644)
+	_, err = dst.Write(data)
+	return err
 }
 
-// LoadWeightFile reads a JSON sensitivity weight written by Weight.SaveFile.
-func LoadWeightFile(path string) (*Weight, error) {
-	data, err := os.ReadFile(path)
+// ReadWeight reads a JSON sensitivity weight written by Weight.Save (or
+// Weight.SaveFile), rejecting weights with unstable poles.
+func ReadWeight(r io.Reader) (*Weight, error) {
+	data, err := io.ReadAll(r)
 	if err != nil {
 		return nil, err
 	}
@@ -127,7 +130,39 @@ func LoadWeightFile(path string) (*Weight, error) {
 		return nil, err
 	}
 	if !w.model.IsStable(0) {
-		return nil, fmt.Errorf("repro: weight in %s has unstable poles", path)
+		return nil, fmt.Errorf("repro: weight has unstable poles")
+	}
+	return w, nil
+}
+
+// SaveFile writes the weight as JSON, loadable by LoadWeightFile — the
+// persistence step that lets one fitted sensitivity weight drive repeated
+// weighted (batch) enforcement runs, e.g. via passcheck -weight. It
+// delegates to Save.
+func (w *Weight) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := w.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadWeightFile reads a JSON sensitivity weight written by Weight.SaveFile
+// via ReadWeight.
+func LoadWeightFile(path string) (*Weight, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	w, err := ReadWeight(f)
+	if err != nil {
+		// ReadWeight errors already carry the package prefix; add the path.
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return w, nil
 }
