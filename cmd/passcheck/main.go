@@ -7,6 +7,7 @@
 //	passcheck [-ports N] [-fit n] [-enforce] [-certify] [-save out.json] [-method m] input.s4p
 //	passcheck -model model.json [-enforce] [-certify] [-weight w.json] [-save out.json] [-method m]
 //	passcheck -batch 'lib/*.json' [-enforce] [-certify] [-weight w.json | -load spec] [-workers N] [-save-dir out/]
+//	passcheck -remote http://host:7077 {-model m.json | -batch 'lib/*.json'} [-enforce] [-certify] [-deadline 30s]
 //
 // -method selects the detection algorithm: auto (Hamiltonian for small
 // models, multi-stage adaptive sampling otherwise), hamiltonian, sweep, or
@@ -48,6 +49,15 @@
 //     die:R:C | vrm:R:L (a single term applies to all ports); -obs picks
 //     the observation port and -weight-order the weight order n_w.
 //
+// -remote ships the work to a running passivityd daemon (cmd/passivityd)
+// instead of the in-process engine: each -model or -batch entry is POSTed
+// as a job and the daemon's pole-fingerprint affinity scheduler places it
+// on the worker whose evaluation caches are already warm for its pole
+// set. The per-model lines additionally report the serving worker and
+// whether the placement was an affinity hit; -deadline bounds each job's
+// running time server-side. Weighted enforcement (-weight/-load) and
+// -cache-dir are local-mode features — the daemon owns its caches.
+//
 // Exit status: 0 when every final artifact is passive, 1 when not, 2 on
 // usage or I/O errors, 130 when interrupted.
 package main
@@ -69,6 +79,7 @@ import (
 	"syscall"
 
 	repro "repro"
+	"repro/internal/serve"
 )
 
 func fail(code int, format string, args ...any) {
@@ -135,10 +146,33 @@ func main() {
 	weightOrder := flag.Int("weight-order", 8, "-load mode: weight order n_w")
 	obsPort := flag.Int("obs", 0, "-load mode: observation port of the target impedance")
 	cacheDir := flag.String("cache-dir", "", "persist/reload session evaluation caches in this directory")
+	remote := flag.String("remote", "", "base URL of a passivityd daemon to run the jobs on (e.g. http://host:7077)")
+	deadline := flag.Duration("deadline", 0, "-remote mode: per-job deadline (0 = daemon default)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *remote != "" {
+		if _, err := serve.ParseCheckMethod(*method); err != nil {
+			fail(2, "%v", err)
+		}
+		if *weightPath != "" || *loadSpec != "" {
+			fail(2, "weighted enforcement is local-only; drop -weight/-load in -remote mode")
+		}
+		if *cacheDir != "" {
+			fail(2, "-cache-dir is the daemon's concern; configure passivityd -cache-dir instead")
+		}
+		if *fit > 0 || flag.NArg() != 0 {
+			fail(2, "-remote processes saved models: pass -model or -batch, not raw Touchstone input")
+		}
+		if (*modelPath == "") == (*batch == "") {
+			fail(2, "-remote needs exactly one of -model or -batch")
+		}
+		runRemote(ctx, strings.TrimRight(*remote, "/"), *modelPath, *batch, *method, *sweep,
+			*enforce, *certify, *deadline, *save, *saveDir)
+		return
+	}
 	r := &run{
 		ctx:      ctx,
 		sess:     repro.NewSession(repro.WithWorkers(*workers)),

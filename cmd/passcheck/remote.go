@@ -1,0 +1,203 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	repro "repro"
+	"repro/internal/serve"
+)
+
+// remoteRun drives a passivityd daemon instead of the in-process engine:
+// every model is POSTed to /v1/check or /v1/enforce and the daemon's
+// pole-fingerprint affinity scheduler places it on the worker whose
+// caches are warm for its pole set.
+type remoteRun struct {
+	ctx  context.Context
+	base string
+	cli  *http.Client
+}
+
+// post submits one job and decodes the response; non-2xx statuses carry
+// the daemon's error string.
+func (r *remoteRun) post(endpoint string, req *serve.Request) (*serve.Response, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(r.ctx, http.MethodPost, r.base+endpoint, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hresp, err := r.cli.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer hresp.Body.Close()
+	var resp serve.Response
+	if err := json.NewDecoder(io.LimitReader(hresp.Body, 256<<20)).Decode(&resp); err != nil {
+		return nil, fmt.Errorf("decoding %s response (HTTP %d): %v", endpoint, hresp.StatusCode, err)
+	}
+	if hresp.StatusCode != http.StatusOK {
+		return &resp, fmt.Errorf("%s: HTTP %d: %s", endpoint, hresp.StatusCode, resp.Error)
+	}
+	return &resp, nil
+}
+
+// jobRequest assembles the wire request for one model.
+func remoteRequest(m *repro.Macromodel, method string, sweep int, certify bool, deadline time.Duration) *serve.Request {
+	return &serve.Request{
+		Model:      m,
+		Check:      serve.CheckSpec{Method: method, SweepPoints: sweep, Certify: certify},
+		Enforce:    serve.EnforceSpec{ClampD: true, Certify: certify},
+		DeadlineMS: deadline.Milliseconds(),
+	}
+}
+
+// runRemote is the -remote entry point: single -model jobs go through one
+// POST; -batch fans the library out with a few concurrent submitters so
+// the daemon's queue (and its affinity scheduler) stays busy.
+func runRemote(ctx context.Context, base, modelPath, batch string, method string, sweep int,
+	enforce, certify bool, deadline time.Duration, save, saveDir string) {
+	r := &remoteRun{ctx: ctx, base: base, cli: &http.Client{}}
+	endpoint := "/v1/check"
+	if enforce {
+		endpoint = "/v1/enforce"
+	}
+
+	if batch == "" {
+		model, err := repro.LoadMacromodel(modelPath)
+		if err != nil {
+			fail(2, "loading model: %v", err)
+		}
+		resp, err := r.post(endpoint, remoteRequest(model, method, sweep, certify, deadline))
+		if err != nil {
+			if errors.Is(ctx.Err(), context.Canceled) {
+				fail(130, "interrupted")
+			}
+			fail(2, "remote %s: %v", endpoint, err)
+		}
+		fmt.Printf("remote: worker %d, affinity hit %v, fingerprint %s, wait %.1f ms, service %.1f ms\n",
+			resp.Worker, resp.AffinityHit, resp.Fingerprint, resp.QueueWaitMS, resp.ServiceMS)
+		if resp.Enforce != nil {
+			fmt.Printf("enforced in %d iterations (D clamped: %v)\n", resp.Enforce.Iterations, resp.Enforce.DClamped)
+		}
+		printReport(resp.Report)
+		if save != "" && resp.Model != nil {
+			if err := resp.Model.SaveFile(save); err != nil {
+				fail(2, "saving: %v", err)
+			}
+			fmt.Printf("saved enforced model to %s\n", save)
+		}
+		if !resp.Report.Passive {
+			os.Exit(1)
+		}
+		return
+	}
+
+	paths, err := filepath.Glob(batch)
+	if err != nil {
+		fail(2, "bad -batch pattern %q: %v", batch, err)
+	}
+	if len(paths) == 0 {
+		fail(2, "-batch %q matched no files", batch)
+	}
+	sort.Strings(paths)
+	fmt.Printf("remote batch: %d models via %s%s\n", len(paths), base, endpoint)
+
+	resps := make([]*serve.Response, len(paths))
+	errs := make([]error, len(paths))
+	submitters := 8
+	if len(paths) < submitters {
+		submitters = len(paths)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < submitters; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				model, err := repro.LoadMacromodel(paths[i])
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				resps[i], errs[i] = r.post(endpoint, remoteRequest(model, method, sweep, certify, deadline))
+			}
+		}()
+	}
+	for i := range paths {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	close(next)
+	wg.Wait()
+
+	allPassive := true
+	hits, failed := 0, 0
+	var waitMS, serviceMS float64
+	for i, p := range paths {
+		switch {
+		case errs[i] != nil:
+			fmt.Printf("  %s: FAILED: %v\n", p, errs[i])
+			allPassive = false
+			failed++
+		case resps[i] == nil: // never dispatched: the run was interrupted
+			fmt.Printf("  %s: CANCELLED\n", p)
+			allPassive = false
+			failed++
+		default:
+			rp := resps[i]
+			if rp.AffinityHit {
+				hits++
+			}
+			waitMS += rp.QueueWaitMS
+			serviceMS += rp.ServiceMS
+			iter := ""
+			if rp.Enforce != nil {
+				iter = fmt.Sprintf(" iterations=%d", rp.Enforce.Iterations)
+			}
+			fmt.Printf("  %s: passive=%v σmax=%.6f%s [worker %d, hit=%v]\n",
+				p, rp.Report.Passive, rp.Report.MaxSigma, iter, rp.Worker, rp.AffinityHit)
+			if !rp.Report.Passive {
+				allPassive = false
+			}
+			if saveDir != "" && rp.Model != nil {
+				if err := os.MkdirAll(saveDir, 0o755); err != nil {
+					fail(2, "creating %s: %v", saveDir, err)
+				}
+				if err := rp.Model.SaveFile(filepath.Join(saveDir, filepath.Base(p))); err != nil {
+					fail(2, "saving %s: %v", filepath.Base(p), err)
+				}
+			}
+		}
+	}
+	done := len(paths) - failed
+	if done > 0 {
+		fmt.Printf("remote summary: %d/%d ok, affinity hits %d/%d (%.0f%%), mean wait %.1f ms, mean service %.1f ms\n",
+			done, len(paths), hits, done, 100*float64(hits)/float64(done), waitMS/float64(done), serviceMS/float64(done))
+	}
+	if ctx.Err() != nil {
+		fail(130, "interrupted — partial results above")
+	}
+	if !allPassive {
+		os.Exit(1)
+	}
+}

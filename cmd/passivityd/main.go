@@ -1,0 +1,117 @@
+// Command passivityd runs the passivity-enforcement service: an HTTP/JSON
+// daemon wrapping a pool of long-lived repro.Session workers with
+// pole-fingerprint cache-affinity scheduling (see internal/serve).
+//
+// Usage:
+//
+//	passivityd [-addr :7077] [-workers N] [-queue N] [-deadline 60s]
+//	           [-parallelism N] [-cache-dir DIR] [-cache-budget MiB]
+//	           [-drain-timeout 30s]
+//
+// Endpoints:
+//
+//	POST /v1/check    assess a macromodel (JSON body: {"model": ..., "check": {...}})
+//	POST /v1/enforce  enforce passivity, returning the enforced model
+//	GET  /metrics     Prometheus text-format operational metrics
+//	GET  /healthz     liveness (503 while draining)
+//
+// The dispatcher hashes each submitted model's pole set and steers it to
+// the worker whose evaluation caches are already warm for that
+// fingerprint, falling back to the least-loaded worker — on library and
+// parameter sweeps sharing pole sets, warm-cache hits dominate. The queue
+// is bounded: beyond -queue accepted jobs, submissions fail with 429 and
+// a Retry-After hint. Each job runs under a deadline (its own deadline_ms
+// or -deadline) mapped to context cancellation.
+//
+// On SIGINT/SIGTERM the daemon drains gracefully: admission stops (503),
+// accepted jobs finish and deliver their results, worker caches are saved
+// under -cache-dir (reloaded at the next start, so the pool — and the
+// affinity placement — comes back warm), and the process exits 0. If the
+// drain outlives -drain-timeout, in-flight jobs are cancelled through
+// their contexts; a second signal kills the process immediately.
+//
+// The companion client is passcheck -remote (see cmd/passcheck).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":7077", "listen address")
+	workers := flag.Int("workers", 0, "worker Sessions (0 = GOMAXPROCS, capped at 8)")
+	queue := flag.Int("queue", 64, "max accepted-but-unfinished jobs before 429")
+	deadline := flag.Duration("deadline", 60*time.Second, "default per-job deadline")
+	parallelism := flag.Int("parallelism", 0, "intra-check goroutines per worker (0 = GOMAXPROCS/workers)")
+	cacheDir := flag.String("cache-dir", "", "persist/reload per-worker evaluation caches under this directory")
+	cacheBudget := flag.Int64("cache-budget", 0, "per-worker cache budget in MiB (0 = library default)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "SIGTERM: max wait for in-flight jobs before cancelling them")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "passivityd: unexpected arguments %v\n", flag.Args())
+		os.Exit(2)
+	}
+
+	srv, err := serve.New(serve.Options{
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		DefaultDeadline:   *deadline,
+		WorkerParallelism: *parallelism,
+		CacheDir:          *cacheDir,
+		CacheBudget:       *cacheBudget << 20,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "passivityd: %v\n", err)
+		os.Exit(2)
+	}
+	if *cacheDir != "" {
+		if err := srv.LoadCaches(); err != nil {
+			fmt.Fprintf(os.Stderr, "passivityd: loading caches: %v\n", err)
+		} else {
+			fmt.Printf("passivityd: loaded caches from %s\n", *cacheDir)
+		}
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Printf("passivityd: listening on %s (%d workers, queue %d)\n", *addr, srv.Workers(), *queue)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "passivityd: %v\n", err)
+		os.Exit(2)
+	case <-ctx.Done():
+	}
+	stop() // restore default handling: a second signal kills immediately
+	fmt.Fprintln(os.Stderr, "passivityd: draining (in-flight jobs finish, new ones get 503)")
+
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Drain first: it stops admission and completes the accepted jobs, so
+	// the HTTP handlers blocked on results unblock; Shutdown then closes
+	// the listener and waits for those handlers to write their responses.
+	if err := srv.Drain(dctx); err != nil {
+		fmt.Fprintf(os.Stderr, "passivityd: drain: %v\n", err)
+	} else if *cacheDir != "" {
+		fmt.Printf("passivityd: caches saved to %s\n", *cacheDir)
+	}
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	if err := httpSrv.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "passivityd: shutdown: %v\n", err)
+	}
+	fmt.Fprintln(os.Stderr, "passivityd: drained cleanly")
+}

@@ -161,10 +161,12 @@
 //     pole-set fingerprint (FNV-1a over the pole bits, verified exactly)
 //     across Check / Enforce / EnforceBatch / Extract calls. Pole-basis
 //     vectors survive residue changes; σ samples are additionally guarded
-//     by a residue fingerprint and dropped the moment the residues differ.
-//     Repeated library sweeps over fixed pole sets run several times
-//     faster warm (BENCH_5.json), and SaveCache / LoadCache persist the
-//     warm state across processes (passcheck -cache-dir). A byte budget
+//     by a residue fingerprint, and each residue variant's σ layer parks
+//     in a per-cache stash while its siblings run, so cycling through a
+//     parameter-sweep library keeps every variant warm. Repeated library
+//     sweeps over fixed pole sets run several times faster warm
+//     (BENCH_5.json), and SaveCache / LoadCache persist the warm state
+//     across processes (passcheck -cache-dir). A byte budget
 //     (WithCacheBudget) evicts whole least-recently-used model caches.
 //   - Cancellation. Every Session method takes a context.Context.
 //     Cancellation is cooperative and drains deterministically: parallel
@@ -182,6 +184,13 @@
 // Session with a background context; their signatures and results are
 // unchanged — caching only moves work, never results, so session-routed
 // outcomes are bitwise identical to the pre-Session implementations.
+//
+// For serving this engine over the network, cmd/passivityd wraps a pool
+// of Sessions in an HTTP/JSON daemon whose scheduler routes each model
+// to the worker already warm for its pole set (PoleFingerprint and
+// Session.HasCache are the hooks it builds on); cmd/passcheck -remote is
+// the matching client. The "Service layer" section of ARCHITECTURE.md
+// has the design.
 //
 // ARCHITECTURE.md maps the paper's equations to packages and expands on
 // these conventions.

@@ -39,6 +39,15 @@ type basisEntry struct {
 // drops its σ entry with it, so the two layers never disagree about which
 // frequencies are resident.
 //
+// Beyond the single active σ layer, the cache parks up to maxSigmaStash
+// complete σ layers keyed by an opaque residue fingerprint (SwapSigma):
+// when a caller cycles between residue variants that share the poles — a
+// parameter-sweep library re-checked every round — each variant's σ
+// samples survive the visits of its siblings instead of being recomputed
+// from the shared basis every time. Stashed layers are plain value maps;
+// they are exempt from the basis-residency invariant above (a σ value
+// stays correct even after its basis vector was evicted).
+//
 // The cache also carries the violation-band frequencies found by the
 // previous check (HotFrequencies) into the next check's seed grid, so that
 // enforcement iterations re-localize their shrinking bands in a single
@@ -55,6 +64,11 @@ type EvalCache struct {
 	sigma      map[float64]float64
 	hot        []float64
 	head, tail *basisEntry // recency list: head = most recent
+
+	// stash holds parked σ layers by residue fingerprint (SwapSigma);
+	// stashOrder tracks their recency, most recent last.
+	stash      map[uint64]map[float64]float64
+	stashOrder []uint64
 
 	// MaxEntries bounds the basis layer (≤ 0 selects
 	// DefaultEvalCacheEntries). Lower it for services that keep many caches
@@ -75,8 +89,10 @@ func NewEvalCache() *EvalCache {
 	}
 }
 
-// InvalidateSigma drops the σ layer (the model's residues changed) while
-// keeping the pole-dependent basis layer and the hot-frequency seeds.
+// InvalidateSigma drops the active σ layer (the model's residues changed
+// in place, as enforcement perturbations do) while keeping the
+// pole-dependent basis layer, the hot-frequency seeds and any stashed σ
+// layers of other residue sets.
 func (c *EvalCache) InvalidateSigma() {
 	if c == nil {
 		return
@@ -84,6 +100,66 @@ func (c *EvalCache) InvalidateSigma() {
 	// clear keeps the map's buckets: the next sweep re-stores σ at the same
 	// frequencies without re-growing the table from scratch.
 	clear(c.sigma)
+}
+
+// maxSigmaStash bounds the parked σ layers a cache retains; beyond it the
+// least-recently-parked layer is dropped. 64 comfortably covers a
+// parameter sweep's variants per pole set while keeping the worst-case
+// footprint proportional to the active layer.
+const maxSigmaStash = 64
+
+// SwapSigma switches the active σ layer between residue variants of the
+// cache's pole set: the current layer is parked in the stash under the
+// park key, and the layer previously parked under the restore key (if
+// any) becomes active. Callers pass residue fingerprints as keys and must
+// guarantee the park key identifies the residues the active layer was
+// computed from. Cycling through a library of residue variants this way
+// turns every revisit into σ-layer hits instead of recomputations.
+func (c *EvalCache) SwapSigma(park, restore uint64) {
+	if c == nil || park == restore {
+		return
+	}
+	if c.stash == nil {
+		c.stash = make(map[uint64]map[float64]float64)
+	}
+	if len(c.sigma) > 0 {
+		if _, dup := c.stash[park]; !dup {
+			c.stash[park] = c.sigma
+			c.stashOrder = append(c.stashOrder, park)
+			for len(c.stashOrder) > maxSigmaStash {
+				drop := c.stashOrder[0]
+				c.stashOrder = c.stashOrder[1:]
+				delete(c.stash, drop)
+			}
+			c.sigma = nil
+		}
+	}
+	if restored, ok := c.stash[restore]; ok {
+		delete(c.stash, restore)
+		for i, k := range c.stashOrder {
+			if k == restore {
+				c.stashOrder = append(c.stashOrder[:i], c.stashOrder[i+1:]...)
+				break
+			}
+		}
+		c.sigma = restored
+		return
+	}
+	if c.sigma == nil {
+		c.sigma = make(map[float64]float64)
+	} else {
+		clear(c.sigma)
+	}
+}
+
+// StashedSigmaEntries sums the σ samples held by parked layers (see
+// SwapSigma); the active layer is counted by SigmaEntries.
+func (c *EvalCache) StashedSigmaEntries() int {
+	n := 0
+	for _, layer := range c.stash {
+		n += len(layer)
+	}
+	return n
 }
 
 // SetHot records seed frequencies for the next check; NaN/±Inf and

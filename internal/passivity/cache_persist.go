@@ -16,17 +16,20 @@ import (
 // per model). Basis entries are written coldest → warmest; reloading
 // replays them in that order, which reproduces the LRU recency exactly.
 //
-// The σ layer is only valid for the exact residues it was computed from —
-// the caller (Session) guards it with a residue fingerprint and drops it
-// on mismatch. The basis layer depends on the poles alone. The hot-seed
-// list is persisted for snapshot fidelity (Save/Load round-trips the whole
-// cache), but note the Session layer clears hot seeds at every checkout to
-// keep session-routed sampling identical to stateless sampling, so loaded
-// seeds only matter to direct EvalCache users.
+// The active σ layer is only valid for the exact residues it was computed
+// from — the caller (Session) guards it with a residue fingerprint and
+// parks it in the per-variant stash (SwapSigma) on mismatch; stashed
+// layers are persisted with their keys so a reloaded cache keeps serving
+// every variant of the sweep warm. The basis layer depends on the poles
+// alone. The hot-seed list is persisted for snapshot fidelity (Save/Load
+// round-trips the whole cache), but note the Session layer clears hot
+// seeds at every checkout to keep session-routed sampling identical to
+// stateless sampling, so loaded seeds only matter to direct EvalCache
+// users.
 
 const (
 	cacheMagic   = 0x45564143 // "EVAC"
-	cacheVersion = 1
+	cacheVersion = 2          // v2 appends the stashed σ layers
 	// cacheMaxCount caps every persisted collection length, rejecting
 	// corrupt or hostile streams before any allocation.
 	cacheMaxCount = 1 << 28
@@ -35,7 +38,8 @@ const (
 // ErrCacheFormat reports a malformed or incompatible persisted cache.
 var ErrCacheFormat = fmt.Errorf("passivity: malformed eval-cache stream")
 
-// SigmaEntries returns the number of resident σ samples.
+// SigmaEntries returns the number of σ samples in the active layer;
+// parked variant layers are counted by StashedSigmaEntries.
 func (c *EvalCache) SigmaEntries() int { return len(c.sigma) }
 
 // Save writes the cache (basis layer in LRU order, σ layer, hot seeds,
@@ -104,6 +108,33 @@ func (c *EvalCache) Save(dst io.Writer) error {
 	for _, w := range c.hot {
 		if err := f64(w); err != nil {
 			return err
+		}
+	}
+	// Stashed σ layers, oldest first so the reload replays the parking
+	// order; entries sorted by frequency for a deterministic stream.
+	if err := u64(uint64(len(c.stashOrder))); err != nil {
+		return err
+	}
+	for _, key := range c.stashOrder {
+		layer := c.stash[key]
+		if err := u64(key); err != nil {
+			return err
+		}
+		if err := u64(uint64(len(layer))); err != nil {
+			return err
+		}
+		ws := make([]float64, 0, len(layer))
+		for w := range layer {
+			ws = append(ws, w)
+		}
+		sort.Float64s(ws)
+		for _, w := range ws {
+			if err := f64(w); err != nil {
+				return err
+			}
+			if err := f64(layer[w]); err != nil {
+				return err
+			}
 		}
 	}
 	return bw.Flush()
@@ -215,6 +246,43 @@ func LoadEvalCache(r io.Reader) (*EvalCache, error) {
 		}
 	}
 	c.hot = hot
+	nStash, err := count()
+	if err != nil {
+		return nil, err
+	}
+	if nStash > 0 {
+		c.stash = make(map[uint64]map[float64]float64, nStash)
+	}
+	for i := 0; i < nStash; i++ {
+		key, err := u64()
+		if err != nil {
+			return nil, err
+		}
+		nLayer, err := count()
+		if err != nil {
+			return nil, err
+		}
+		layer := make(map[float64]float64, nLayer)
+		for j := 0; j < nLayer; j++ {
+			w, err := f64()
+			if err != nil {
+				return nil, err
+			}
+			s, err := f64()
+			if err != nil {
+				return nil, err
+			}
+			layer[w] = s
+		}
+		if _, dup := c.stash[key]; dup {
+			return nil, fmt.Errorf("%w: duplicate stash key %016x", ErrCacheFormat, key)
+		}
+		c.stash[key] = layer
+		c.stashOrder = append(c.stashOrder, key)
+	}
+	if len(c.stashOrder) > maxSigmaStash {
+		return nil, fmt.Errorf("%w: %d stashed layers exceeds limit", ErrCacheFormat, len(c.stashOrder))
+	}
 	// Replaying storeBasis counts LRU-bound evictions of an over-full
 	// stream as if they happened live; reset the counters so a freshly
 	// loaded cache reports only what happens after the load.

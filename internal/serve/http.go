@@ -1,0 +1,234 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	repro "repro"
+)
+
+// maxRequestBytes bounds a request body (a macromodel JSON grows with
+// poles × ports², and untrusted payloads must not exhaust memory).
+const maxRequestBytes = 64 << 20
+
+// CheckSpec is the wire form of the passivity-check options a job carries
+// (a stable subset of repro.CheckOptions).
+type CheckSpec struct {
+	// Method names the detection algorithm: "", "auto", "hamiltonian",
+	// "sweep" or "adaptive".
+	Method string `json:"method,omitempty"`
+	// SweepPoints sets the fixed sweep's grid density (0 = default).
+	SweepPoints int `json:"sweep_points,omitempty"`
+	// FreqMinHz/FreqMaxHz bound the checked band (0 = derive from poles).
+	FreqMinHz float64 `json:"freq_min_hz,omitempty"`
+	// FreqMaxHz is the upper band edge in Hz.
+	FreqMaxHz float64 `json:"freq_max_hz,omitempty"`
+	// Certify escalates passive verdicts through the certification
+	// pipeline.
+	Certify bool `json:"certify,omitempty"`
+}
+
+// EnforceSpec is the wire form of the enforcement options (a stable
+// subset of repro.EnforceOptions; the check side rides in CheckSpec).
+type EnforceSpec struct {
+	// MaxIterations bounds the perturbation loop (0 = default).
+	MaxIterations int `json:"max_iterations,omitempty"`
+	// Margin pushes constrained singular values to 1 − Margin.
+	Margin float64 `json:"margin,omitempty"`
+	// ClampD permits the one-time D singular-value clip.
+	ClampD bool `json:"clamp_d,omitempty"`
+	// Certify requires an interval certificate before the loop exits.
+	Certify bool `json:"certify,omitempty"`
+}
+
+// Request is the JSON body of POST /v1/check and POST /v1/enforce.
+type Request struct {
+	// Model is the macromodel to process (the repro.Macromodel JSON
+	// schema, as written by SaveFile).
+	Model *repro.Macromodel `json:"model"`
+	// Check tunes the passivity check of either job kind.
+	Check CheckSpec `json:"check"`
+	// Enforce tunes the enforcement loop (/v1/enforce only).
+	Enforce EnforceSpec `json:"enforce"`
+	// DeadlineMS bounds the job's running wall-clock in milliseconds
+	// (0 = server default).
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// Response is the JSON body answering both job endpoints.
+type Response struct {
+	// Worker is the worker index that served the job; AffinityHit reports
+	// a warm-cache placement; Fingerprint is the model's pole-set
+	// fingerprint in hex.
+	Worker int `json:"worker"`
+	// AffinityHit reports that the job landed on the worker already
+	// associated with its fingerprint.
+	AffinityHit bool `json:"affinity_hit"`
+	// Fingerprint is the pole-set fingerprint, %016x.
+	Fingerprint string `json:"fingerprint"`
+	// QueueWaitMS and ServiceMS split the job's latency into queueing and
+	// service time.
+	QueueWaitMS float64 `json:"queue_wait_ms"`
+	// ServiceMS is the worker execution time in milliseconds.
+	ServiceMS float64 `json:"service_ms"`
+	// Report is the passivity report of the (final) model.
+	Report *repro.PassivityReport `json:"report,omitempty"`
+	// Enforce is the enforcement report (/v1/enforce).
+	Enforce *repro.EnforceReport `json:"enforce,omitempty"`
+	// Model is the enforced model (/v1/enforce).
+	Model *repro.Macromodel `json:"model,omitempty"`
+	// Error carries the job failure on non-2xx statuses.
+	Error string `json:"error,omitempty"`
+}
+
+// ParseCheckMethod maps the wire method names to repro.CheckMethod.
+func ParseCheckMethod(name string) (repro.CheckMethod, error) {
+	switch name {
+	case "", "auto":
+		return repro.CheckAuto, nil
+	case "hamiltonian":
+		return repro.CheckHamiltonian, nil
+	case "sweep":
+		return repro.CheckSweep, nil
+	case "adaptive":
+		return repro.CheckAdaptive, nil
+	}
+	return repro.CheckAuto, fmt.Errorf("unknown check method %q (want auto, hamiltonian, sweep or adaptive)", name)
+}
+
+// CheckOptions converts the wire spec to library options.
+func (c CheckSpec) CheckOptions() (repro.CheckOptions, error) {
+	m, err := ParseCheckMethod(c.Method)
+	if err != nil {
+		return repro.CheckOptions{}, err
+	}
+	return repro.CheckOptions{
+		Method:      m,
+		SweepPoints: c.SweepPoints,
+		FreqMin:     c.FreqMinHz,
+		FreqMax:     c.FreqMaxHz,
+		Certify:     c.Certify,
+	}, nil
+}
+
+// EnforceOptions converts the wire spec to library options (Check is
+// filled by the job's CheckSpec).
+func (e EnforceSpec) EnforceOptions() repro.EnforceOptions {
+	return repro.EnforceOptions{
+		MaxIterations: e.MaxIterations,
+		Margin:        e.Margin,
+		ClampD:        e.ClampD,
+		Certify:       e.Certify,
+	}
+}
+
+// Handler returns the server's HTTP interface:
+//
+//	POST /v1/check    submit a check job, wait, return its Response
+//	POST /v1/enforce  submit an enforce job (response carries the model)
+//	GET  /metrics     Prometheus text-format metrics
+//	GET  /healthz     liveness (200 "ok", 503 while draining)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/check", func(w http.ResponseWriter, r *http.Request) {
+		s.handleJob(w, r, JobCheck)
+	})
+	mux.HandleFunc("/v1/enforce", func(w http.ResponseWriter, r *http.Request) {
+		s.handleJob(w, r, JobEnforce)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.writePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		draining := s.draining
+		s.mu.Unlock()
+		if draining {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// writeJSON emits one JSON response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// handleJob decodes a Request, submits it and waits for the Result.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request, kind JobKind) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, Response{Error: "decoding request: " + err.Error()})
+		return
+	}
+	if req.Model == nil {
+		writeJSON(w, http.StatusBadRequest, Response{Error: "request carries no model"})
+		return
+	}
+	chk, err := req.Check.CheckOptions()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, Response{Error: err.Error()})
+		return
+	}
+	job := &Job{
+		Kind:     kind,
+		Model:    req.Model,
+		Check:    chk,
+		Enforce:  req.Enforce.EnforceOptions(),
+		Deadline: time.Duration(req.DeadlineMS) * time.Millisecond,
+	}
+	ch, err := s.Submit(job)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, Response{Error: err.Error()})
+		return
+	case errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, Response{Error: err.Error()})
+		return
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, Response{Error: err.Error()})
+		return
+	}
+	// The worker always delivers (the channel is buffered), so waiting
+	// here cannot leak even if the client has gone away.
+	res := <-ch
+	resp := Response{
+		Worker:      res.Worker,
+		AffinityHit: res.AffinityHit,
+		Fingerprint: fmt.Sprintf("%016x", res.Fingerprint),
+		QueueWaitMS: float64(res.QueueWait) / float64(time.Millisecond),
+		ServiceMS:   float64(res.Service) / float64(time.Millisecond),
+		Report:      res.Report,
+		Enforce:     res.Enforce,
+		Model:       res.Model,
+	}
+	switch {
+	case errors.Is(res.Err, context.DeadlineExceeded):
+		resp.Error = "job deadline exceeded"
+		writeJSON(w, http.StatusGatewayTimeout, resp)
+	case errors.Is(res.Err, context.Canceled):
+		resp.Error = "job cancelled by server shutdown"
+		writeJSON(w, http.StatusServiceUnavailable, resp)
+	case res.Err != nil:
+		resp.Error = res.Err.Error()
+		writeJSON(w, http.StatusInternalServerError, resp)
+	default:
+		writeJSON(w, http.StatusOK, resp)
+	}
+}

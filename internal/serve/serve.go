@@ -1,0 +1,469 @@
+// Package serve implements passivityd: a long-running passivity-enforcement
+// service wrapping a pool of long-lived repro.Session workers behind an
+// HTTP/JSON interface.
+//
+// The scheduling idea is pole-fingerprint cache affinity. A Session's
+// evaluation caches are keyed by the FNV-1a fingerprint of a model's pole
+// set (repro.PoleFingerprint), and a warm cache makes repeated checks of
+// models sharing that pole set several times cheaper than cold ones. The
+// dispatcher therefore steers every submitted job to the worker whose
+// Session already holds the job's fingerprint — consulting first its own
+// placement map (so queued jobs for one fingerprint pile onto one worker)
+// and then the workers' live caches via Session.HasCache (so affinity
+// survives process restarts through persisted cache files) — and falls
+// back to the least-loaded worker for fingerprints nobody has seen. On
+// library and parameter sweeps, where thousands of near-identical models
+// share a handful of pole sets, warm-cache hits dominate.
+//
+// The queue is bounded with admission control: a Submit beyond QueueDepth
+// accepted-but-unfinished jobs fails with ErrQueueFull (HTTP 429), and a
+// draining server fails with ErrDraining (HTTP 503). Every job carries a
+// deadline mapped to context cancellation through the Session plumbing, so
+// a stuck check cannot wedge a worker. Drain stops admission, lets the
+// accepted jobs finish (cancelling them only if the drain context expires)
+// and saves every worker's caches, so a SIGTERM loses no accepted work and
+// the next process starts warm.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	repro "repro"
+)
+
+// Errors reported by Submit (mapped to HTTP statuses by the handler).
+var (
+	// ErrQueueFull rejects a job because QueueDepth jobs are already
+	// accepted and unfinished (HTTP 429).
+	ErrQueueFull = errors.New("serve: job queue full")
+	// ErrDraining rejects a job because the server is shutting down
+	// (HTTP 503).
+	ErrDraining = errors.New("serve: server draining")
+)
+
+// RoutingPolicy selects how the dispatcher places jobs on workers.
+type RoutingPolicy int
+
+const (
+	// RouteAffinity (the default) steers each job to the worker whose
+	// Session holds the job's pole-set fingerprint, falling back to the
+	// least-loaded worker for unseen fingerprints.
+	RouteAffinity RoutingPolicy = iota
+	// RouteRandom places every job on a uniformly random worker. It is the
+	// control arm of BenchmarkAffinityRouting and deliberately ignores
+	// cache residency; production servers want RouteAffinity.
+	RouteRandom
+)
+
+// Options configures New.
+type Options struct {
+	// Workers is the number of long-lived Session workers (default:
+	// GOMAXPROCS, capped at 8 — each worker parallelizes internally).
+	Workers int
+	// QueueDepth bounds the accepted-but-unfinished jobs across the whole
+	// server; Submit beyond it returns ErrQueueFull (default 64).
+	QueueDepth int
+	// DefaultDeadline applies to jobs that do not carry their own
+	// (default 60s).
+	DefaultDeadline time.Duration
+	// WorkerParallelism is the intra-check goroutine budget of each
+	// worker's Session (default: GOMAXPROCS/Workers, at least 1), so a
+	// fully loaded pool does not oversubscribe the host.
+	WorkerParallelism int
+	// CacheDir persists each worker's evaluation caches under
+	// CacheDir/worker-N across Drain/restart ("" disables persistence).
+	CacheDir string
+	// CacheBudget bounds each worker Session's resident cache bytes
+	// (0 = repro.DefaultSessionCacheBudget).
+	CacheBudget int64
+	// Routing selects the placement policy (default RouteAffinity).
+	Routing RoutingPolicy
+	// Seed makes RouteRandom deterministic for benchmarks (0 = fixed
+	// default seed).
+	Seed int64
+}
+
+// JobKind distinguishes check from enforce jobs.
+type JobKind int
+
+// Job kinds.
+const (
+	// JobCheck assesses passivity without modifying the model.
+	JobCheck JobKind = iota
+	// JobEnforce removes passivity violations from the job's model in
+	// place and returns the enforced model.
+	JobEnforce
+)
+
+// Job is one unit of work submitted to the server. The server owns the
+// model after Submit succeeds (enforce jobs perturb it in place).
+type Job struct {
+	// Kind selects check or enforce.
+	Kind JobKind
+	// Model is the macromodel to process.
+	Model *repro.Macromodel
+	// Check tunes the passivity check (both kinds).
+	Check repro.CheckOptions
+	// Enforce tunes the enforcement loop (JobEnforce; its Check field is
+	// overwritten by Job.Check).
+	Enforce repro.EnforceOptions
+	// Deadline bounds the job's wall-clock once it starts running
+	// (0 = the server's DefaultDeadline). Expiry cancels the job's
+	// context; the Session plumbing stops cooperatively.
+	Deadline time.Duration
+
+	fp          uint64
+	worker      int
+	affinityHit bool
+	accepted    time.Time
+	result      chan *Result
+}
+
+// Result is the outcome of one job.
+type Result struct {
+	// Worker is the index of the worker that ran the job.
+	Worker int
+	// AffinityHit reports that the dispatcher placed the job on a worker
+	// already associated with its pole-set fingerprint.
+	AffinityHit bool
+	// Fingerprint is the job model's pole-set fingerprint.
+	Fingerprint uint64
+	// QueueWait is the time the job spent queued before a worker picked
+	// it up; Service is the time the worker spent running it.
+	QueueWait, Service time.Duration
+	// Report is the passivity report (for enforce jobs, of the final
+	// model).
+	Report *repro.PassivityReport
+	// Enforce is the enforcement report (JobEnforce only).
+	Enforce *repro.EnforceReport
+	// Model is the enforced model (JobEnforce only).
+	Model *repro.Macromodel
+	// Err is the job error; deadline expiry surfaces as
+	// context.DeadlineExceeded.
+	Err error
+}
+
+// worker is one long-lived Session plus its job queue.
+type worker struct {
+	id   int
+	srv  *Server
+	sess *repro.Session
+	jobs chan *Job
+	// pending counts queued+running jobs on this worker (the least-loaded
+	// fallback's load signal).
+	pending atomic.Int64
+	// markMu guards lastMark, the base timestamp the progress sink charges
+	// stage latencies from. Progress events arrive serialized (the Session
+	// guarantees that) but on varying goroutines, and run() resets the
+	// mark between jobs.
+	markMu   sync.Mutex
+	lastMark time.Time
+}
+
+// Server is the passivityd engine: a dispatcher with admission control in
+// front of a pool of Session workers. Build with New, serve HTTP with
+// Handler, stop with Drain.
+type Server struct {
+	opts    Options
+	workers []*worker
+	met     *metrics
+
+	hardCtx    context.Context
+	hardCancel context.CancelFunc
+
+	mu       sync.Mutex
+	affinity map[uint64]int
+	queued   int
+	draining bool
+	rng      *rand.Rand
+
+	wg sync.WaitGroup
+
+	// runHook, when set by tests, runs at the start of every job with the
+	// job's deadline context; its error fails the job. It gives tests a
+	// deterministic way to block workers and exercise admission control,
+	// deadlines and drains.
+	runHook func(ctx context.Context, j *Job) error
+}
+
+// maxAffinityEntries bounds the dispatcher placement map; beyond it the
+// map is rebuilt lazily from the workers' live caches (HasCache), which
+// bound themselves via the session byte budgets.
+const maxAffinityEntries = 1 << 16
+
+// New builds the server and starts its workers. Caches are not loaded
+// here — call LoadCaches to warm the pool from Options.CacheDir.
+func New(opts Options) (*Server, error) {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+		if opts.Workers > 8 {
+			opts.Workers = 8
+		}
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 64
+	}
+	if opts.DefaultDeadline <= 0 {
+		opts.DefaultDeadline = 60 * time.Second
+	}
+	if opts.WorkerParallelism <= 0 {
+		opts.WorkerParallelism = runtime.GOMAXPROCS(0) / opts.Workers
+		if opts.WorkerParallelism < 1 {
+			opts.WorkerParallelism = 1
+		}
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	hardCtx, hardCancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:       opts,
+		met:        newMetrics(),
+		hardCtx:    hardCtx,
+		hardCancel: hardCancel,
+		affinity:   make(map[uint64]int),
+		rng:        rand.New(rand.NewSource(seed)),
+	}
+	for i := 0; i < opts.Workers; i++ {
+		w := &worker{id: i, srv: s, jobs: make(chan *Job, opts.QueueDepth)}
+		sessOpts := []repro.SessionOption{
+			repro.WithWorkers(opts.WorkerParallelism),
+			repro.WithProgress(w.onProgress),
+		}
+		if opts.CacheBudget > 0 {
+			sessOpts = append(sessOpts, repro.WithCacheBudget(opts.CacheBudget))
+		}
+		w.sess = repro.NewSession(sessOpts...)
+		s.workers = append(s.workers, w)
+		s.wg.Add(1)
+		go w.loop()
+	}
+	return s, nil
+}
+
+// Workers returns the size of the worker pool.
+func (s *Server) Workers() int { return len(s.workers) }
+
+// workerCacheDir is the per-worker cache subdirectory (stable across
+// restarts as long as the worker count is).
+func (s *Server) workerCacheDir(id int) string {
+	return filepath.Join(s.opts.CacheDir, fmt.Sprintf("worker-%d", id))
+}
+
+// LoadCaches warms every worker Session from Options.CacheDir (written by
+// a previous Drain). Unreadable or corrupt files are reported in the
+// returned error after all loadable caches are in; the server is usable
+// either way. The dispatcher rediscovers the loaded fingerprints through
+// Session.HasCache, so affinity placement survives restarts.
+func (s *Server) LoadCaches() error {
+	if s.opts.CacheDir == "" {
+		return nil
+	}
+	var firstErr error
+	for _, w := range s.workers {
+		if err := w.sess.LoadCache(s.workerCacheDir(w.id)); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// saveCaches persists every worker Session under Options.CacheDir.
+func (s *Server) saveCaches() error {
+	if s.opts.CacheDir == "" {
+		return nil
+	}
+	var firstErr error
+	for _, w := range s.workers {
+		if err := w.sess.SaveCache(s.workerCacheDir(w.id)); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Submit places a job on a worker queue, returning the channel its Result
+// will arrive on (buffered: the worker never blocks on a departed
+// caller). It fails fast with ErrQueueFull when QueueDepth jobs are
+// already accepted and unfinished, and with ErrDraining after Drain
+// began.
+func (s *Server) Submit(j *Job) (<-chan *Result, error) {
+	if j.Model == nil {
+		return nil, errors.New("serve: job without a model")
+	}
+	fp := repro.PoleFingerprint(j.Model)
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.met.rejected("draining")
+		return nil, ErrDraining
+	}
+	if s.queued >= s.opts.QueueDepth {
+		s.mu.Unlock()
+		s.met.rejected("queue_full")
+		return nil, ErrQueueFull
+	}
+	w, hit := s.routeLocked(fp)
+	s.queued++
+	j.fp = fp
+	j.worker = w.id
+	j.affinityHit = hit
+	j.accepted = time.Now()
+	j.result = make(chan *Result, 1)
+	w.pending.Add(1)
+	// The send stays under s.mu so Drain can never close the channel
+	// between the admission check and the enqueue; it cannot block, since
+	// the buffer is QueueDepth and admission control bounds first.
+	w.jobs <- j
+	s.mu.Unlock()
+	s.met.accepted(hit)
+	return j.result, nil
+}
+
+// routeLocked picks the worker for a fingerprint. Callers hold s.mu.
+func (s *Server) routeLocked(fp uint64) (*worker, bool) {
+	if s.opts.Routing == RouteRandom {
+		return s.workers[s.rng.Intn(len(s.workers))], false
+	}
+	if wi, ok := s.affinity[fp]; ok {
+		return s.workers[wi], true
+	}
+	// No placement on record: a worker may still hold the cache (loaded
+	// from disk by LoadCaches, or the map was rebuilt) — probe the pool.
+	for _, w := range s.workers {
+		if w.sess.HasCache(fp) {
+			s.affinity[fp] = w.id
+			return w, true
+		}
+	}
+	best := s.workers[0]
+	for _, w := range s.workers[1:] {
+		if w.pending.Load() < best.pending.Load() {
+			best = w
+		}
+	}
+	if len(s.affinity) >= maxAffinityEntries {
+		s.affinity = make(map[uint64]int)
+	}
+	s.affinity[fp] = best.id
+	return best, false
+}
+
+// Drain stops admission (subsequent Submits fail with ErrDraining), waits
+// for every accepted job to finish — cancelling the in-flight ones only
+// if ctx expires first — then saves the worker caches to
+// Options.CacheDir. Accepted jobs always receive a Result: a graceful
+// drain loses no work, and the next process starts warm from the saved
+// caches.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return errors.New("serve: already draining")
+	}
+	s.draining = true
+	for _, w := range s.workers {
+		close(w.jobs)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.hardCancel() // force: cancel every in-flight job context
+		<-done
+	}
+	s.hardCancel()
+	return s.saveCaches()
+}
+
+// QueueDepth reports the accepted-but-unfinished job count.
+func (s *Server) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queued
+}
+
+// loop drains the worker's queue until Drain closes it.
+func (w *worker) loop() {
+	defer w.srv.wg.Done()
+	for j := range w.jobs {
+		res := w.run(j)
+		j.result <- res
+		w.pending.Add(-1)
+		w.srv.mu.Lock()
+		w.srv.queued--
+		w.srv.mu.Unlock()
+	}
+}
+
+// run executes one job under its deadline context.
+func (w *worker) run(j *Job) *Result {
+	start := time.Now()
+	res := &Result{
+		Worker:      w.id,
+		AffinityHit: j.affinityHit,
+		Fingerprint: j.fp,
+		QueueWait:   start.Sub(j.accepted),
+	}
+	deadline := j.Deadline
+	if deadline <= 0 {
+		deadline = w.srv.opts.DefaultDeadline
+	}
+	ctx, cancel := context.WithTimeout(w.srv.hardCtx, deadline)
+	defer cancel()
+
+	w.markMu.Lock()
+	w.lastMark = start
+	w.markMu.Unlock()
+
+	if hook := w.srv.runHook; hook != nil {
+		res.Err = hook(ctx, j)
+	}
+	if res.Err == nil {
+		switch j.Kind {
+		case JobCheck:
+			res.Report, res.Err = w.sess.Check(ctx, j.Model, j.Check)
+		case JobEnforce:
+			eopts := j.Enforce
+			eopts.Check = j.Check
+			res.Enforce, res.Err = w.sess.Enforce(ctx, j.Model, eopts)
+			if res.Enforce != nil {
+				res.Report = res.Enforce.Final
+				res.Model = j.Model
+			}
+		default:
+			res.Err = fmt.Errorf("serve: unknown job kind %d", j.Kind)
+		}
+	}
+	res.Service = time.Since(start)
+	w.srv.met.finished(j.Kind, res)
+	w.srv.met.cacheStats(w.id, w.sess.CacheStats())
+	return res
+}
+
+// onProgress is the worker Session's progress sink: it charges the time
+// since the last event to the event's stage and counts the σ evaluations,
+// feeding the per-stage latency metrics.
+func (w *worker) onProgress(ev repro.ProgressEvent) {
+	now := time.Now()
+	w.markMu.Lock()
+	delta := now.Sub(w.lastMark)
+	w.lastMark = now
+	w.markMu.Unlock()
+	w.srv.met.stage(string(ev.Kind), delta, ev.Samples)
+}

@@ -103,7 +103,11 @@ func Read(r io.Reader, ports int) (*Data, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		// Scanner failures (an over-long line, a broken reader) are still
+		// malformed input from the caller's point of view: wrap them so
+		// errors.Is(err, ErrFormat) matches, keeping the underlying error
+		// (e.g. bufio.ErrTooLong) in the chain too.
+		return nil, fmt.Errorf("%w: %w", ErrFormat, err)
 	}
 	perPoint := 1 + 2*ports*ports
 	if len(values) == 0 || len(values)%perPoint != 0 {
@@ -135,7 +139,9 @@ func Read(r io.Reader, ports int) (*Data, error) {
 func parseOption(line string, d *Data) (Format, float64, error) {
 	format := FormatMA
 	unit := 1e9 // default GHz
-	for _, tok := range strings.Fields(line)[1:] {
+	toks := strings.Fields(line)[1:]
+	for i := 0; i < len(toks); i++ {
+		tok := toks[i]
 		switch strings.ToUpper(tok) {
 		case "HZ":
 			unit = 1
@@ -158,12 +164,19 @@ func parseOption(line string, d *Data) (Format, float64, error) {
 		case "DB":
 			format = FormatDB
 		case "R":
-			// next token is the reference resistance; handled below
-		default:
-			if v, err := strconv.ParseFloat(tok, 64); err == nil {
-				d.R0 = v
-				continue
+			// The reference resistance is the explicit pair "R <value>";
+			// a dangling R with no (numeric) value is malformed, and bare
+			// numbers never set R0 on their own.
+			if i+1 >= len(toks) {
+				return format, unit, fmt.Errorf("%w: option R without a resistance value", ErrFormat)
 			}
+			v, err := strconv.ParseFloat(toks[i+1], 64)
+			if err != nil {
+				return format, unit, fmt.Errorf("%w: bad resistance %q after R", ErrFormat, toks[i+1])
+			}
+			d.R0 = v
+			i++
+		default:
 			return format, unit, fmt.Errorf("%w: unknown option %q", ErrFormat, tok)
 		}
 	}
@@ -182,7 +195,9 @@ func decode(a, b float64, f Format) complex128 {
 }
 
 // Write emits the dataset in RI format with Hz units, one frequency point
-// per logical record (matrix rows wrapped for N>4).
+// per logical record: 2-port data on a single line in the conventional
+// S11 S21 S12 S22 order, and one full matrix row per line for every other
+// port count.
 func Write(w io.Writer, d *Data) error {
 	if len(d.Freq) != len(d.Matrices) {
 		return fmt.Errorf("%w: %d frequencies, %d matrices", ErrFormat, len(d.Freq), len(d.Matrices))

@@ -1,7 +1,9 @@
 package touchstone
 
 import (
+	"bufio"
 	"bytes"
+	"errors"
 	"math"
 	"math/rand"
 	"strings"
@@ -157,5 +159,71 @@ func TestCommentsStripped(t *testing.T) {
 	}
 	if d.Matrices[0].At(0, 0) != complex(0.5, 0) {
 		t.Fatalf("comment handling broke parsing")
+	}
+}
+
+// TestOptionLineResistance pins the explicit "R <value>" pair parsing:
+// the resistance is set only by the pair, stray bare numbers on the
+// option line are malformed, and a dangling or non-numeric R is ErrFormat
+// instead of being silently ignored (which used to leave R0 at 50).
+func TestOptionLineResistance(t *testing.T) {
+	record := "1e6 0.1 0.2 0.3 -0.4 0.3 -0.4 0.5 0.6\n"
+	good := []struct {
+		option string
+		wantR0 float64
+	}{
+		{"# Hz S RI R 75", 75},
+		{"# hz s ri r 28.5", 28.5},
+		{"# R 100 Hz S RI", 100}, // option order is free
+		{"# Hz S RI", 50},        // no R pair: default reference
+	}
+	for _, c := range good {
+		d, err := Read(strings.NewReader(c.option+"\n"+record), 2)
+		if err != nil {
+			t.Errorf("%q: unexpected error %v", c.option, err)
+			continue
+		}
+		if d.R0 != c.wantR0 {
+			t.Errorf("%q: R0 = %v, want %v", c.option, d.R0, c.wantR0)
+		}
+	}
+	bad := []string{
+		"# Hz S RI R",       // dangling R, no value
+		"# Hz S RI R ohm",   // non-numeric resistance
+		"# Hz S RI 75",      // stray number without the R keyword
+		"# Hz S 50 RI R 75", // stray number between keywords
+		"# Hz S RI R 75 33", // second stray number after a valid pair
+	}
+	for _, option := range bad {
+		_, err := Read(strings.NewReader(option+"\n"+record), 2)
+		if err == nil {
+			t.Errorf("%q: accepted, want ErrFormat", option)
+			continue
+		}
+		if !errors.Is(err, ErrFormat) {
+			t.Errorf("%q: error %v does not wrap ErrFormat", option, err)
+		}
+	}
+}
+
+// TestScannerErrorWrapsErrFormat verifies that bufio.Scanner failures (an
+// over-long line) surface wrapped in ErrFormat, with the underlying cause
+// preserved in the chain for diagnosis.
+func TestScannerErrorWrapsErrFormat(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("# Hz S RI R 50\n1e6")
+	for sb.Len() < 1<<20+64 {
+		sb.WriteString(" 0.0")
+	}
+	sb.WriteString("\n")
+	_, err := Read(strings.NewReader(sb.String()), 2)
+	if err == nil {
+		t.Fatal("oversized line accepted")
+	}
+	if !errors.Is(err, ErrFormat) {
+		t.Fatalf("errors.Is(err, ErrFormat) = false for %v", err)
+	}
+	if !errors.Is(err, bufio.ErrTooLong) {
+		t.Fatalf("underlying bufio.ErrTooLong lost from chain: %v", err)
 	}
 }

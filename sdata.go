@@ -184,7 +184,9 @@ func WriteTouchstone(path string, d *SData) error {
 }
 
 func portsFromExtension(path string) int {
-	// Expect ...sNp / ...SNp.
+	// Expect a literal .sNp / .SNp extension. Requiring the dot matters:
+	// a name like "mass3p" merely ends in the letters s-3-p and must not
+	// silently infer 3 ports.
 	n := len(path)
 	if n < 4 {
 		return 0
@@ -197,7 +199,7 @@ func portsFromExtension(path string) int {
 	for j >= 0 && path[j] >= '0' && path[j] <= '9' {
 		j--
 	}
-	if j < 0 || (path[j] != 's' && path[j] != 'S') || j == i-1 {
+	if j < 1 || (path[j] != 's' && path[j] != 'S') || j == i-1 || path[j-1] != '.' {
 		return 0
 	}
 	ports := 0

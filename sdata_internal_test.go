@@ -1,0 +1,89 @@
+package repro
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/touchstone"
+)
+
+// TestPortsFromExtension pins the port-count inference to literal .sNp
+// extensions. The dotless cases are the regression: "mass3p" merely ends
+// in the letters s-3-p and must not silently parse as a 3-port file.
+func TestPortsFromExtension(t *testing.T) {
+	cases := []struct {
+		path string
+		want int
+	}{
+		{"line.s2p", 2},
+		{"pdn.s12p", 12},
+		{"noisy.S4P", 4},
+		{"dir.v2/board.s3p", 3},
+		{".s3p", 3}, // hidden file, still a literal extension
+		{"mass3p", 0},
+		{"bus4p", 0},
+		{"s2p", 0},  // no dot before the s
+		{"a.sp", 0}, // no digits
+		{"a.s2x", 0},
+		{"a.2p", 0},
+		{"x", 0},
+		{"", 0},
+	}
+	for _, c := range cases {
+		if got := portsFromExtension(c.path); got != c.want {
+			t.Errorf("portsFromExtension(%q) = %d, want %d", c.path, got, c.want)
+		}
+	}
+}
+
+// TestReadTouchstoneDotlessNameErrors verifies the user-visible half of
+// the fix: a dotless file name with no explicit port count errors instead
+// of inferring ports from a coincidental sNp suffix.
+func TestReadTouchstoneDotlessNameErrors(t *testing.T) {
+	dir := t.TempDir()
+	// Valid 3-port content under a name that previously parsed as 3 ports.
+	src := `# Hz S RI R 50
+1e6 0.1 0 0.2 0 0.3 0 0.2 0 0.4 0 0.5 0 0.3 0 0.5 0 0.6 0
+`
+	path := filepath.Join(dir, "mass3p")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTouchstone(path, 0); err == nil {
+		t.Fatal("ReadTouchstone(\"mass3p\", 0) inferred a port count from a dotless name")
+	} else if !strings.Contains(err.Error(), "cannot infer port count") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	// The explicit port count still reads the same file fine.
+	d, err := ReadTouchstone(path, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Ports() != 3 {
+		t.Fatalf("ports = %d, want 3", d.Ports())
+	}
+}
+
+// TestReadTouchstoneOversizedLineErrFormat verifies scanner failures wrap
+// ErrFormat: a single line beyond the 1 MiB scanner buffer must surface
+// as malformed input to errors.Is-matching callers, not as a bare
+// bufio.ErrTooLong.
+func TestReadTouchstoneOversizedLineErrFormat(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("# Hz S RI R 50\n")
+	sb.WriteString("1e6")
+	for sb.Len() < 1<<20+64 {
+		sb.WriteString(" 0.0")
+	}
+	sb.WriteString("\n")
+	_, err := ReadTouchstoneFrom(strings.NewReader(sb.String()), 2)
+	if err == nil {
+		t.Fatal("oversized line parsed without error")
+	}
+	if !errors.Is(err, touchstone.ErrFormat) {
+		t.Fatalf("errors.Is(err, ErrFormat) = false for %v", err)
+	}
+}

@@ -131,9 +131,11 @@ type sessionCache struct {
 // functions, which rebuild evaluation state on every call — a bounded pool
 // of per-pole-set EvalCaches that survive across Check, Enforce,
 // EnforceBatch and Extract calls: repeated sweeps over a fixed-pole model
-// library reuse the pole-basis vectors (and, for unchanged residues, the σ
-// samples) instead of recomputing them. Caches persist across processes
-// via SaveCache/LoadCache.
+// library reuse the pole-basis vectors and the σ samples — each residue
+// variant's σ layer is parked in a per-cache stash while its siblings run,
+// so a re-checked parameter sweep stays warm end to end — instead of
+// recomputing them. Caches persist across processes via
+// SaveCache/LoadCache.
 //
 // All methods take a leading context.Context and stop cooperatively when
 // it is cancelled: parallel fan-outs drain deterministically, no goroutine
@@ -222,6 +224,15 @@ func poleFingerprint(poles []complex128) uint64 {
 	return h
 }
 
+// PoleFingerprint returns the FNV-1a fingerprint of the model's pole set —
+// the key under which a Session retains the model's evaluation cache
+// (exact bit patterns, order-sensitive). Schedulers routing work across a
+// pool of Sessions use it together with HasCache to steer a model to the
+// worker whose caches are already warm for its pole set; models produced
+// by the same fitting run (a parameter sweep, a perturbed library) share
+// fingerprints exactly when they share poles.
+func PoleFingerprint(m *Macromodel) uint64 { return poleFingerprint(m.model.Poles) }
+
 // residueFingerprint hashes everything the σ layer depends on besides the
 // poles: the residue matrices and the direct coupling D.
 func residueFingerprint(m *rational.Model) uint64 {
@@ -289,16 +300,22 @@ func (s *Session) evictLocked() {
 }
 
 // cacheBytes estimates the resident size of one cache: per basis entry the
-// vector itself plus node/map overhead, plus the σ layer and hot seeds.
+// vector itself plus node/map overhead, plus the σ layers (active and
+// stashed variants) and hot seeds.
 func cacheBytes(c *passivity.EvalCache, nPoles int) int64 {
 	return int64(c.BasisEntries())*(int64(nPoles)*16+120) +
-		int64(c.SigmaEntries())*32 + int64(len(c.Hot()))*8
+		int64(c.SigmaEntries()+c.StashedSigmaEntries())*32 +
+		int64(len(c.Hot()))*8
 }
 
 // checkout hands the caller the session cache for the model's pole set,
-// marking it busy. The σ layer is dropped when the model's residues differ
-// from the ones it was computed for, and the warm-start hot seeds are
-// cleared so a session-routed run samples exactly like a stateless one.
+// marking it busy. When the model's residues differ from the ones the
+// active σ layer was computed for, the layers are swapped through the
+// cache's per-variant stash (the old layer parks under its fingerprint,
+// the new variant's parked layer — if any — is restored), so cycling
+// through a residue-variant library keeps every variant's σ samples warm.
+// The warm-start hot seeds are cleared so a session-routed run samples
+// exactly like a stateless one.
 // When the cache is already checked out (a concurrent operation on the
 // same pole set) or a fingerprint collision is detected, the caller gets a
 // private transient cache and a nil entry.
@@ -324,7 +341,7 @@ func (s *Session) checkout(m *rational.Model) (*sessionCache, *passivity.EvalCac
 		return nil, passivity.NewEvalCache()
 	}
 	if e.resFP != resFP {
-		e.cache.InvalidateSigma()
+		e.cache.SwapSigma(e.resFP, resFP)
 		e.resFP = resFP
 	}
 	e.cache.SetHot(nil)
@@ -346,7 +363,7 @@ func (s *Session) checkin(e *sessionCache, m *rational.Model) {
 	s.used -= e.bytes
 	e.bytes = cacheBytes(e.cache, len(e.poles))
 	e.basisN = e.cache.BasisEntries()
-	e.sigmaN = e.cache.SigmaEntries()
+	e.sigmaN = e.cache.SigmaEntries() + e.cache.StashedSigmaEntries()
 	s.used += e.bytes
 	e.busy = false
 	s.evictLocked()
@@ -358,7 +375,8 @@ type SessionCacheStats struct {
 	// Models counts the resident pole-set caches.
 	Models int
 	// BasisEntries and SigmaEntries sum the two cache layers over all
-	// resident caches.
+	// resident caches; SigmaEntries includes the per-variant σ layers
+	// parked in each cache's stash alongside the active one.
 	BasisEntries, SigmaEntries int
 	// Bytes is the estimated resident size charged against the budget.
 	Bytes int64
@@ -379,6 +397,19 @@ func (s *Session) CacheStats() SessionCacheStats {
 		st.SigmaEntries += e.sigmaN
 	}
 	return st
+}
+
+// HasCache reports whether the session currently retains an evaluation
+// cache for the given pole-set fingerprint (see PoleFingerprint), checked
+// out or not. It is the affinity probe for schedulers: a dispatcher
+// steering a model to the Session that answers true here turns the
+// model's checks into warm-cache hits. The answer is advisory — the LRU
+// byte budget may evict the cache between the probe and the work.
+func (s *Session) HasCache(fp uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.caches[fp]
+	return ok
 }
 
 // progressFunc adapts the session sink to the internal event stream,
@@ -589,8 +620,8 @@ const (
 // SaveCache persists every resident evaluation cache to dir (created if
 // missing), one file per pole-set fingerprint, readable by LoadCache.
 // Repeated library sweeps across process restarts then start warm: the
-// pole-basis layers — and the σ layers of models whose residues are
-// unchanged — are reloaded instead of recomputed. Caches checked out by
+// pole-basis layers — and the σ layers of every unchanged residue
+// variant, active or stashed — are reloaded instead of recomputed. Caches checked out by
 // concurrently running operations are skipped. Files are written
 // atomically (temp file + rename), so a SIGINT during save leaves no torn
 // cache behind.
@@ -714,7 +745,7 @@ func (s *Session) loadCacheFile(path string) error {
 		resFP:  head[2],
 		bytes:  cacheBytes(cache, len(poles)),
 		basisN: cache.BasisEntries(),
-		sigmaN: cache.SigmaEntries(),
+		sigmaN: cache.SigmaEntries() + cache.StashedSigmaEntries(),
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()

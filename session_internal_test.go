@@ -233,3 +233,51 @@ func TestSessionBatchBitwiseIdenticalToStateless(t *testing.T) {
 		}
 	}
 }
+
+// TestSessionSigmaStashKeepsVariantsWarm: cycling a session through
+// residue variants of one pole set must restore each variant's σ layer
+// from the per-cache stash — the second visit of a variant is served from
+// σ samples, not recomputed from the shared basis.
+func TestSessionSigmaStashKeepsVariantsWarm(t *testing.T) {
+	a := syntheticViolator(t, 47)
+	b := a.Clone()
+	delta := make([]float64, b.model.NumPoles())
+	delta[0] = 0.05
+	b.model.AddToCVector(0, 0, delta)
+
+	opts := CheckOptions{Method: CheckAdaptive, Workers: 1}
+	ctx := context.Background()
+	s := NewSession()
+	for _, m := range []*Macromodel{a, b} { // first round: both cold
+		if _, err := s.Check(ctx, m, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fp := PoleFingerprint(a)
+	s.mu.Lock()
+	e := s.caches[fp]
+	if e == nil {
+		s.mu.Unlock()
+		t.Fatal("no session cache for the shared pole set")
+	}
+	e.cache.SigmaHits, e.cache.SigmaMisses = 0, 0
+	s.mu.Unlock()
+
+	for _, m := range []*Macromodel{a, b} { // second round: σ restored per variant
+		if _, err := s.Check(ctx, m, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.mu.Lock()
+	hits, misses := e.cache.SigmaHits, e.cache.SigmaMisses
+	s.mu.Unlock()
+	if hits == 0 {
+		t.Fatal("re-checking variants produced no σ hits: stash did not restore their layers")
+	}
+	if misses > hits/10 {
+		t.Fatalf("re-check of stashed variants mostly cold: %d hits, %d misses", hits, misses)
+	}
+	if st := s.CacheStats(); st.Models != 1 || st.SigmaEntries == 0 {
+		t.Fatalf("cache stats after variant cycling: %+v", st)
+	}
+}
