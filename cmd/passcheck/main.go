@@ -7,7 +7,7 @@
 //	passcheck [-ports N] [-fit n] [-enforce] [-certify] [-save out.json] [-method m] input.s4p
 //	passcheck -model model.json [-enforce] [-certify] [-weight w.json] [-save out.json] [-method m]
 //	passcheck -batch 'lib/*.json' [-enforce] [-certify] [-weight w.json | -load spec] [-workers N] [-save-dir out/]
-//	passcheck -remote http://host:7077 {-model m.json | -batch 'lib/*.json'} [-enforce] [-certify] [-deadline 30s]
+//	passcheck -remote http://host:7077 {-model m.json | -batch 'lib/*.json'} [-enforce] [-certify] [-deadline 30s] [-retries 5] [-retry-wait 250ms]
 //
 // -method selects the detection algorithm: auto (Hamiltonian for small
 // models, multi-stage adaptive sampling otherwise), hamiltonian, sweep, or
@@ -58,6 +58,13 @@
 // running time server-side. Weighted enforcement (-weight/-load) and
 // -cache-dir are local-mode features — the daemon owns its caches.
 //
+// The remote client retries connection errors, 429 queue-full rejections
+// and 5xx responses with bounded exponential backoff plus jitter,
+// honoring the daemon's Retry-After hint: -retries caps the attempts per
+// request and -retry-wait sets the first backoff step. When the daemon
+// itself retried a job after a worker fault, the result line carries an
+// attempts=N tail.
+//
 // Exit status: 0 when every final artifact is passive, 1 when not, 2 on
 // usage or I/O errors, 130 when interrupted.
 package main
@@ -77,6 +84,7 @@ import (
 	"strings"
 	"sync"
 	"syscall"
+	"time"
 
 	repro "repro"
 	"repro/internal/serve"
@@ -148,6 +156,8 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "persist/reload session evaluation caches in this directory")
 	remote := flag.String("remote", "", "base URL of a passivityd daemon to run the jobs on (e.g. http://host:7077)")
 	deadline := flag.Duration("deadline", 0, "-remote mode: per-job deadline (0 = daemon default)")
+	retries := flag.Int("retries", 5, "-remote mode: attempts per request for connection errors, 429 and 5xx")
+	retryWait := flag.Duration("retry-wait", 250*time.Millisecond, "-remote mode: first backoff step (doubled per attempt, with jitter)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -170,7 +180,7 @@ func main() {
 			fail(2, "-remote needs exactly one of -model or -batch")
 		}
 		runRemote(ctx, strings.TrimRight(*remote, "/"), *modelPath, *batch, *method, *sweep,
-			*enforce, *certify, *deadline, *save, *saveDir)
+			*enforce, *certify, *deadline, *save, *saveDir, *retries, *retryWait)
 		return
 	}
 	r := &run{

@@ -56,6 +56,8 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "persist/reload per-worker evaluation caches under this directory")
 	cacheBudget := flag.Int64("cache-budget", 0, "per-worker cache budget in MiB (0 = library default)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "SIGTERM: max wait for in-flight jobs before cancelling them")
+	maxAttempts := flag.Int("max-attempts", 0, "default per-job attempts for retryable failures (0 = 3)")
+	maxRestarts := flag.Int("max-restarts", 0, "worker Session rebuilds after panics before the worker is retired (0 = 3)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "passivityd: unexpected arguments %v\n", flag.Args())
@@ -63,22 +65,28 @@ func main() {
 	}
 
 	srv, err := serve.New(serve.Options{
-		Workers:           *workers,
-		QueueDepth:        *queue,
-		DefaultDeadline:   *deadline,
-		WorkerParallelism: *parallelism,
-		CacheDir:          *cacheDir,
-		CacheBudget:       *cacheBudget << 20,
+		Workers:            *workers,
+		QueueDepth:         *queue,
+		DefaultDeadline:    *deadline,
+		WorkerParallelism:  *parallelism,
+		CacheDir:           *cacheDir,
+		CacheBudget:        *cacheBudget << 20,
+		DefaultMaxAttempts: *maxAttempts,
+		MaxWorkerRestarts:  *maxRestarts,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "passivityd: %v\n", err)
 		os.Exit(2)
 	}
 	if *cacheDir != "" {
-		if err := srv.LoadCaches(); err != nil {
+		quarantined, err := srv.LoadCaches()
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "passivityd: loading caches: %v\n", err)
 		} else {
 			fmt.Printf("passivityd: loaded caches from %s\n", *cacheDir)
+		}
+		if quarantined > 0 {
+			fmt.Fprintf(os.Stderr, "passivityd: quarantined %d corrupt cache file(s) (renamed *.corrupt); affected pole sets start cold\n", quarantined)
 		}
 	}
 

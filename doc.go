@@ -189,8 +189,15 @@
 // of Sessions in an HTTP/JSON daemon whose scheduler routes each model
 // to the worker already warm for its pole set (PoleFingerprint and
 // Session.HasCache are the hooks it builds on); cmd/passcheck -remote is
-// the matching client. The "Service layer" section of ARCHITECTURE.md
-// has the design.
+// the matching client. The daemon is fault-tolerant: a panicking worker
+// is caught (serve.ErrWorkerPanic), its Session retired and rebuilt, and
+// the job retried on a different worker from a pristine model copy up to
+// a per-job attempt budget, while the client side retries connection
+// errors, 429 and 5xx with jittered exponential backoff (passcheck
+// -retries / -retry-wait). Cache files carry a checksum footer; a file
+// corrupted between save and load is quarantined (renamed *.corrupt) and
+// its pole set simply starts cold. The "Service layer" section of
+// ARCHITECTURE.md has the design and the failure-mode table.
 //
 // ARCHITECTURE.md maps the paper's equations to packages and expands on
 // these conventions.

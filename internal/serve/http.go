@@ -57,6 +57,10 @@ type Request struct {
 	// DeadlineMS bounds the job's running wall-clock in milliseconds
 	// (0 = server default).
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// MaxAttempts bounds the job's server-side attempts; retryable
+	// failures (worker panics, transient errors) re-run the job on a
+	// different worker up to this total (0 = server default).
+	MaxAttempts int `json:"max_attempts,omitempty"`
 }
 
 // Response is the JSON body answering both job endpoints.
@@ -81,6 +85,11 @@ type Response struct {
 	Enforce *repro.EnforceReport `json:"enforce,omitempty"`
 	// Model is the enforced model (/v1/enforce).
 	Model *repro.Macromodel `json:"model,omitempty"`
+	// Attempts counts how many times the job ran (1 = no retries).
+	Attempts int `json:"attempts,omitempty"`
+	// LastError is the most recent failed attempt's error when the
+	// delivered outcome came from a retry.
+	LastError string `json:"last_error,omitempty"`
 	// Error carries the job failure on non-2xx statuses.
 	Error string `json:"error,omitempty"`
 }
@@ -186,11 +195,12 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request, kind JobKind)
 		return
 	}
 	job := &Job{
-		Kind:     kind,
-		Model:    req.Model,
-		Check:    chk,
-		Enforce:  req.Enforce.EnforceOptions(),
-		Deadline: time.Duration(req.DeadlineMS) * time.Millisecond,
+		Kind:        kind,
+		Model:       req.Model,
+		Check:       chk,
+		Enforce:     req.Enforce.EnforceOptions(),
+		Deadline:    time.Duration(req.DeadlineMS) * time.Millisecond,
+		MaxAttempts: req.MaxAttempts,
 	}
 	ch, err := s.Submit(job)
 	switch {
@@ -198,7 +208,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request, kind JobKind)
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusTooManyRequests, Response{Error: err.Error()})
 		return
-	case errors.Is(err, ErrDraining):
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrNoWorkers):
 		writeJSON(w, http.StatusServiceUnavailable, Response{Error: err.Error()})
 		return
 	case err != nil:
@@ -217,6 +227,10 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request, kind JobKind)
 		Report:      res.Report,
 		Enforce:     res.Enforce,
 		Model:       res.Model,
+		Attempts:    res.Attempts,
+	}
+	if res.LastErr != nil {
+		resp.LastError = res.LastErr.Error()
 	}
 	switch {
 	case errors.Is(res.Err, context.DeadlineExceeded):

@@ -28,6 +28,17 @@ type metrics struct {
 	// error, deadline, cancelled).
 	completedTotal map[string]int64
 
+	// Fault-tolerance counters: recovered worker panics, Session rebuilds
+	// after panics, workers retired for exhausting their restart budget,
+	// attempt re-runs, jobs moved to another worker's queue, and cache
+	// files quarantined as corrupt at load.
+	panicsTotal      int64
+	restartsTotal    int64
+	retiredTotal     int64
+	retriesTotal     int64
+	requeuedTotal    int64
+	quarantinedTotal int64
+
 	queueWaitSec   float64
 	queueWaitCount int64
 	serviceSec     map[string]float64 // by job kind
@@ -71,6 +82,42 @@ func (m *metrics) rejected(reason string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.rejectedTotal[reason]++
+}
+
+func (m *metrics) panicked() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.panicsTotal++
+}
+
+func (m *metrics) workerRestarted() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.restartsTotal++
+}
+
+func (m *metrics) workerRetired() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.retiredTotal++
+}
+
+func (m *metrics) retried() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.retriesTotal++
+}
+
+func (m *metrics) requeued() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requeuedTotal++
+}
+
+func (m *metrics) quarantined(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.quarantinedTotal += int64(n)
 }
 
 // kindLabel names a job kind in metric labels.
@@ -162,6 +209,13 @@ func (s *Server) writePrometheus(w io.Writer) {
 		ratio = float64(m.affinityHits) / float64(t)
 	}
 	fmt.Fprintf(w, "# HELP passivityd_affinity_hit_ratio Affinity hits over accepted jobs.\n# TYPE passivityd_affinity_hit_ratio gauge\npassivityd_affinity_hit_ratio %g\n", ratio)
+
+	fmt.Fprintf(w, "# HELP passivityd_panics_total Worker panics recovered by job supervision.\n# TYPE passivityd_panics_total counter\npassivityd_panics_total %d\n", m.panicsTotal)
+	fmt.Fprintf(w, "# HELP passivityd_worker_restarts_total Worker Sessions rebuilt fresh after a panic.\n# TYPE passivityd_worker_restarts_total counter\npassivityd_worker_restarts_total %d\n", m.restartsTotal)
+	fmt.Fprintf(w, "# HELP passivityd_workers_retired_total Workers retired for exhausting their restart budget.\n# TYPE passivityd_workers_retired_total counter\npassivityd_workers_retired_total %d\n", m.retiredTotal)
+	fmt.Fprintf(w, "# HELP passivityd_retries_total Job attempts re-run after a retryable failure.\n# TYPE passivityd_retries_total counter\npassivityd_retries_total %d\n", m.retriesTotal)
+	fmt.Fprintf(w, "# HELP passivityd_requeued_total Jobs moved onto a different worker's queue.\n# TYPE passivityd_requeued_total counter\npassivityd_requeued_total %d\n", m.requeuedTotal)
+	fmt.Fprintf(w, "# HELP passivityd_quarantined_caches_total Corrupt cache files quarantined at load.\n# TYPE passivityd_quarantined_caches_total counter\npassivityd_quarantined_caches_total %d\n", m.quarantinedTotal)
 
 	fmt.Fprintf(w, "# HELP passivityd_jobs_completed_total Finished jobs by kind and status.\n# TYPE passivityd_jobs_completed_total counter\n")
 	for _, k := range sortedKeys(m.completedTotal) {

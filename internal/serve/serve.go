@@ -23,6 +23,17 @@
 // accepted jobs finish (cancelling them only if the drain context expires)
 // and saves every worker's caches, so a SIGTERM loses no accepted work and
 // the next process starts warm.
+//
+// The server is fault-tolerant (see supervise.go): every job attempt
+// runs behind panic isolation, a panicking worker's Session is retired
+// and rebuilt fresh (bounded by MaxWorkerRestarts, after which the
+// worker itself retires and the pool absorbs its load), and jobs that
+// die with a worker or fail with a Transient error are requeued onto a
+// different worker up to Job.MaxAttempts — enforce retries restarting
+// from a pristine model copy. Persisted cache files carry a checksum
+// footer; LoadCaches quarantines corrupt ones instead of failing. The
+// deterministic FaultPlan harness (fault.go) drives all of this from
+// tests.
 package serve
 
 import (
@@ -89,6 +100,15 @@ type Options struct {
 	// Seed makes RouteRandom deterministic for benchmarks (0 = fixed
 	// default seed).
 	Seed int64
+	// DefaultMaxAttempts applies to jobs that do not set Job.MaxAttempts
+	// (default 3). Only worker panics and errors marked Transient are
+	// retried; ordinary failures, deadline expiry and cancellation are
+	// final on the first attempt.
+	DefaultMaxAttempts int
+	// MaxWorkerRestarts bounds how many times a panicking worker's
+	// Session is rebuilt before the worker is retired and its load is
+	// served by the surviving pool (default 3).
+	MaxWorkerRestarts int
 }
 
 // JobKind distinguishes check from enforce jobs.
@@ -119,12 +139,24 @@ type Job struct {
 	// (0 = the server's DefaultDeadline). Expiry cancels the job's
 	// context; the Session plumbing stops cooperatively.
 	Deadline time.Duration
+	// MaxAttempts bounds how many times the job may run before its last
+	// error becomes final (0 = the server's DefaultMaxAttempts). A job
+	// whose attempt dies with a panicking worker, or fails with an error
+	// marked Transient, is requeued onto a different worker — the same
+	// one only when no other is available. Enforce retries restart from a
+	// pristine copy of the model, never the half-perturbed survivor of
+	// the failed attempt.
+	MaxAttempts int
 
 	fp          uint64
 	worker      int
 	affinityHit bool
 	accepted    time.Time
 	result      chan *Result
+	maxAttempts int
+	attempts    int               // attempts started (worker goroutines only)
+	lastErr     error             // most recent failed attempt's error
+	pristine    *repro.Macromodel // enforce-retry restore point
 }
 
 // Result is the outcome of one job.
@@ -146,8 +178,16 @@ type Result struct {
 	Enforce *repro.EnforceReport
 	// Model is the enforced model (JobEnforce only).
 	Model *repro.Macromodel
+	// Attempts counts how many times the job ran (1 = no retries).
+	Attempts int
+	// LastErr is the error of the most recent failed attempt before the
+	// delivered outcome: for a job that succeeded on a retry it records
+	// why earlier attempts failed; nil when the first attempt's outcome
+	// is the delivered one.
+	LastErr error
 	// Err is the job error; deadline expiry surfaces as
-	// context.DeadlineExceeded.
+	// context.DeadlineExceeded, a worker panic as ErrWorkerPanic (a
+	// *PanicError carrying the stack).
 	Err error
 }
 
@@ -155,11 +195,16 @@ type Result struct {
 type worker struct {
 	id   int
 	srv  *Server
-	sess *repro.Session
+	sess *repro.Session // swapped under srv.mu when a panic retires it
 	jobs chan *Job
 	// pending counts queued+running jobs on this worker (the least-loaded
 	// fallback's load signal).
 	pending atomic.Int64
+	// restarts counts Session rebuilds after panics (worker goroutine
+	// only, under srv.mu); past Options.MaxWorkerRestarts the worker is
+	// retired and dead flips true.
+	restarts int
+	dead     atomic.Bool
 	// markMu guards lastMark, the base timestamp the progress sink charges
 	// stage latencies from. Progress events arrive serialized (the Session
 	// guarantees that) but on varying goroutines, and run() resets the
@@ -179,11 +224,12 @@ type Server struct {
 	hardCtx    context.Context
 	hardCancel context.CancelFunc
 
-	mu       sync.Mutex
-	affinity map[uint64]int
-	queued   int
-	draining bool
-	rng      *rand.Rand
+	mu          sync.Mutex
+	affinity    map[uint64]int
+	queued      int
+	draining    bool
+	deadWorkers int
+	rng         *rand.Rand
 
 	wg sync.WaitGroup
 
@@ -220,6 +266,12 @@ func New(opts Options) (*Server, error) {
 			opts.WorkerParallelism = 1
 		}
 	}
+	if opts.DefaultMaxAttempts <= 0 {
+		opts.DefaultMaxAttempts = 3
+	}
+	if opts.MaxWorkerRestarts <= 0 {
+		opts.MaxWorkerRestarts = 3
+	}
 	seed := opts.Seed
 	if seed == 0 {
 		seed = 1
@@ -235,19 +287,25 @@ func New(opts Options) (*Server, error) {
 	}
 	for i := 0; i < opts.Workers; i++ {
 		w := &worker{id: i, srv: s, jobs: make(chan *Job, opts.QueueDepth)}
-		sessOpts := []repro.SessionOption{
-			repro.WithWorkers(opts.WorkerParallelism),
-			repro.WithProgress(w.onProgress),
-		}
-		if opts.CacheBudget > 0 {
-			sessOpts = append(sessOpts, repro.WithCacheBudget(opts.CacheBudget))
-		}
-		w.sess = repro.NewSession(sessOpts...)
+		w.sess = s.newWorkerSession(w)
 		s.workers = append(s.workers, w)
 		s.wg.Add(1)
 		go w.loop()
 	}
 	return s, nil
+}
+
+// newWorkerSession builds a fresh Session for w — at startup and every
+// time supervision retires a panicked one.
+func (s *Server) newWorkerSession(w *worker) *repro.Session {
+	sessOpts := []repro.SessionOption{
+		repro.WithWorkers(s.opts.WorkerParallelism),
+		repro.WithProgress(w.onProgress),
+	}
+	if s.opts.CacheBudget > 0 {
+		sessOpts = append(sessOpts, repro.WithCacheBudget(s.opts.CacheBudget))
+	}
+	return repro.NewSession(sessOpts...)
 }
 
 // Workers returns the size of the worker pool.
@@ -259,31 +317,43 @@ func (s *Server) workerCacheDir(id int) string {
 	return filepath.Join(s.opts.CacheDir, fmt.Sprintf("worker-%d", id))
 }
 
-// LoadCaches warms every worker Session from Options.CacheDir (written by
-// a previous Drain). Unreadable or corrupt files are reported in the
-// returned error after all loadable caches are in; the server is usable
-// either way. The dispatcher rediscovers the loaded fingerprints through
-// Session.HasCache, so affinity placement survives restarts.
-func (s *Server) LoadCaches() error {
+// LoadCaches warms every worker Session from Options.CacheDir (written
+// by a previous Drain). Unreadable or corrupt cache files — a crash can
+// tear one — are quarantined (renamed with a .corrupt suffix, counted in
+// quarantined and the quarantined_caches_total metric) and that pole set
+// simply starts cold; the load never fails on corruption. The returned
+// error covers only infrastructure failures. The dispatcher rediscovers
+// the loaded fingerprints through Session.HasCache, so affinity
+// placement survives restarts.
+func (s *Server) LoadCaches() (quarantined int, err error) {
 	if s.opts.CacheDir == "" {
-		return nil
+		return 0, nil
 	}
 	var firstErr error
 	for _, w := range s.workers {
-		if err := w.sess.LoadCache(s.workerCacheDir(w.id)); err != nil && firstErr == nil {
+		_, q, err := w.sess.LoadCacheQuarantine(s.workerCacheDir(w.id))
+		quarantined += q
+		if err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
-	return firstErr
+	if quarantined > 0 {
+		s.met.quarantined(quarantined)
+	}
+	return quarantined, firstErr
 }
 
-// saveCaches persists every worker Session under Options.CacheDir.
+// saveCaches persists every live worker Session under Options.CacheDir
+// (a retired worker's Session is fresh and holds nothing worth saving).
 func (s *Server) saveCaches() error {
 	if s.opts.CacheDir == "" {
 		return nil
 	}
 	var firstErr error
 	for _, w := range s.workers {
+		if w.dead.Load() {
+			continue
+		}
 		if err := w.sess.SaveCache(s.workerCacheDir(w.id)); err != nil && firstErr == nil {
 			firstErr = err
 		}
@@ -294,13 +364,24 @@ func (s *Server) saveCaches() error {
 // Submit places a job on a worker queue, returning the channel its Result
 // will arrive on (buffered: the worker never blocks on a departed
 // caller). It fails fast with ErrQueueFull when QueueDepth jobs are
-// already accepted and unfinished, and with ErrDraining after Drain
-// began.
+// already accepted and unfinished, with ErrDraining after Drain began,
+// and with ErrNoWorkers when the whole pool has been retired.
 func (s *Server) Submit(j *Job) (<-chan *Result, error) {
 	if j.Model == nil {
 		return nil, errors.New("serve: job without a model")
 	}
 	fp := repro.PoleFingerprint(j.Model)
+	j.maxAttempts = j.MaxAttempts
+	if j.maxAttempts <= 0 {
+		j.maxAttempts = s.opts.DefaultMaxAttempts
+	}
+	// Enforce attempts perturb the model in place; keep a pristine copy
+	// so a retry never resumes from a half-perturbed carcass. Cloned
+	// outside the dispatcher lock — rejects waste one clone, admits keep
+	// the lock hold short.
+	if j.Kind == JobEnforce && j.maxAttempts > 1 {
+		j.pristine = j.Model.Clone()
+	}
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
@@ -313,6 +394,11 @@ func (s *Server) Submit(j *Job) (<-chan *Result, error) {
 		return nil, ErrQueueFull
 	}
 	w, hit := s.routeLocked(fp)
+	if w == nil {
+		s.mu.Unlock()
+		s.met.rejected("no_workers")
+		return nil, ErrNoWorkers
+	}
 	s.queued++
 	j.fp = fp
 	j.worker = w.id
@@ -329,33 +415,67 @@ func (s *Server) Submit(j *Job) (<-chan *Result, error) {
 	return j.result, nil
 }
 
-// routeLocked picks the worker for a fingerprint. Callers hold s.mu.
+// routeLocked picks the worker for a fingerprint, never a retired one
+// (nil if the whole pool is). Callers hold s.mu.
 func (s *Server) routeLocked(fp uint64) (*worker, bool) {
-	if s.opts.Routing == RouteRandom {
-		return s.workers[s.rng.Intn(len(s.workers))], false
+	if s.deadWorkers >= len(s.workers) {
+		return nil, false
 	}
-	if wi, ok := s.affinity[fp]; ok {
+	if s.opts.Routing == RouteRandom {
+		for {
+			if w := s.workers[s.rng.Intn(len(s.workers))]; !w.dead.Load() {
+				return w, false
+			}
+		}
+	}
+	if wi, ok := s.affinity[fp]; ok && !s.workers[wi].dead.Load() {
 		return s.workers[wi], true
 	}
 	// No placement on record: a worker may still hold the cache (loaded
 	// from disk by LoadCaches, or the map was rebuilt) — probe the pool.
 	for _, w := range s.workers {
-		if w.sess.HasCache(fp) {
+		if !w.dead.Load() && w.sess.HasCache(fp) {
 			s.affinity[fp] = w.id
 			return w, true
 		}
 	}
-	best := s.workers[0]
-	for _, w := range s.workers[1:] {
-		if w.pending.Load() < best.pending.Load() {
+	var best *worker
+	for _, w := range s.workers {
+		if w.dead.Load() {
+			continue
+		}
+		if best == nil || w.pending.Load() < best.pending.Load() {
 			best = w
 		}
 	}
 	if len(s.affinity) >= maxAffinityEntries {
-		s.affinity = make(map[uint64]int)
+		s.evictAffinityLocked()
 	}
 	s.affinity[fp] = best.id
 	return best, false
+}
+
+// evictAffinityLocked shrinks a full placement map by keeping only the
+// live entries — fingerprints whose worker still holds the cache — so a
+// long-running daemon sheds the cold tail without forgetting its hot
+// set. Only if the live entries alone still fill the map are arbitrary
+// ones dropped (the budget-bounded Sessions make that pathological).
+// Callers hold s.mu.
+func (s *Server) evictAffinityLocked() {
+	kept := make(map[uint64]int)
+	for fp, wi := range s.affinity {
+		w := s.workers[wi]
+		if !w.dead.Load() && w.sess.HasCache(fp) {
+			kept[fp] = wi
+		}
+	}
+	for fp := range kept {
+		if len(kept) < maxAffinityEntries {
+			break
+		}
+		delete(kept, fp)
+	}
+	s.affinity = kept
 }
 
 // Drain stops admission (subsequent Submits fail with ErrDraining), waits
@@ -398,26 +518,31 @@ func (s *Server) QueueDepth() int {
 	return s.queued
 }
 
-// loop drains the worker's queue until Drain closes it.
+// loop owns the worker's queue until Drain closes it; process isolates
+// every failure mode, so the goroutine (and the Drain WaitGroup behind
+// it) survives anything a job does.
 func (w *worker) loop() {
 	defer w.srv.wg.Done()
 	for j := range w.jobs {
-		res := w.run(j)
-		j.result <- res
-		w.pending.Add(-1)
-		w.srv.mu.Lock()
-		w.srv.queued--
-		w.srv.mu.Unlock()
+		w.process(j)
 	}
 }
 
-// run executes one job under its deadline context.
+// run executes one attempt of the job under its deadline context.
 func (w *worker) run(j *Job) *Result {
 	start := time.Now()
+	j.attempts++
+	if j.attempts > 1 {
+		w.srv.met.retried()
+		if j.Kind == JobEnforce && j.pristine != nil {
+			j.Model = j.pristine.Clone()
+		}
+	}
 	res := &Result{
 		Worker:      w.id,
 		AffinityHit: j.affinityHit,
 		Fingerprint: j.fp,
+		LastErr:     j.lastErr,
 		QueueWait:   start.Sub(j.accepted),
 	}
 	deadline := j.Deadline
@@ -431,27 +556,8 @@ func (w *worker) run(j *Job) *Result {
 	w.lastMark = start
 	w.markMu.Unlock()
 
-	if hook := w.srv.runHook; hook != nil {
-		res.Err = hook(ctx, j)
-	}
-	if res.Err == nil {
-		switch j.Kind {
-		case JobCheck:
-			res.Report, res.Err = w.sess.Check(ctx, j.Model, j.Check)
-		case JobEnforce:
-			eopts := j.Enforce
-			eopts.Check = j.Check
-			res.Enforce, res.Err = w.sess.Enforce(ctx, j.Model, eopts)
-			if res.Enforce != nil {
-				res.Report = res.Enforce.Final
-				res.Model = j.Model
-			}
-		default:
-			res.Err = fmt.Errorf("serve: unknown job kind %d", j.Kind)
-		}
-	}
+	w.runAttempt(ctx, j, res)
 	res.Service = time.Since(start)
-	w.srv.met.finished(j.Kind, res)
 	w.srv.met.cacheStats(w.id, w.sess.CacheStats())
 	return res
 }

@@ -292,8 +292,8 @@ func TestDrainFinishesAcceptedJobs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s2.LoadCaches(); err != nil {
-		t.Fatalf("reload: %v", err)
+	if quarantined, err := s2.LoadCaches(); err != nil || quarantined != 0 {
+		t.Fatalf("reload: quarantined=%d err=%v", quarantined, err)
 	}
 	ch, err := s2.Submit(&Job{Kind: JobCheck, Model: models[0], Check: fastCheck})
 	if err != nil {
@@ -310,6 +310,139 @@ func TestDrainFinishesAcceptedJobs(t *testing.T) {
 	}
 	if err := os.RemoveAll(dir); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSubmitDrainRaceFullQueue races a Submit storm against Drain on a
+// full queue: every Submit resolves to acceptance, ErrQueueFull or
+// ErrDraining (never a hang, never a lost result), every accepted job
+// still delivers, and the drain completes.
+func TestSubmitDrainRaceFullQueue(t *testing.T) {
+	s, err := New(Options{Workers: 1, QueueDepth: 4, DefaultDeadline: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := make(chan struct{})
+	s.runHook = func(ctx context.Context, j *Job) error {
+		select {
+		case <-gate:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	models := library(t, 1, 5, 12)
+	var accepted []<-chan *Result
+	for i := 0; i < 4; i++ {
+		ch, err := s.Submit(&Job{Kind: JobCheck, Model: models[i], Check: fastCheck})
+		if err != nil {
+			t.Fatalf("fill %d: %v", i, err)
+		}
+		accepted = append(accepted, ch)
+	}
+
+	extra := make(chan []<-chan *Result, 1)
+	go func() {
+		var won []<-chan *Result
+		for {
+			ch, err := s.Submit(&Job{Kind: JobCheck, Model: models[4], Check: fastCheck})
+			switch {
+			case err == nil:
+				won = append(won, ch)
+			case errors.Is(err, ErrQueueFull):
+				// expected while the queue is full
+			case errors.Is(err, ErrDraining):
+				extra <- won
+				return
+			default:
+				t.Errorf("unexpected submit error: %v", err)
+				extra <- won
+				return
+			}
+		}
+	}()
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		drained <- s.Drain(ctx)
+	}()
+	time.Sleep(5 * time.Millisecond) // let the storm collide with the drain
+	close(gate)
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	for i, ch := range append(accepted, <-extra...) {
+		select {
+		case res := <-ch:
+			if res.Err != nil {
+				t.Fatalf("accepted job %d: %v", i, res.Err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("accepted job %d never delivered", i)
+		}
+	}
+	if d := s.QueueDepth(); d != 0 {
+		t.Fatalf("queue depth %d after drain, want 0", d)
+	}
+}
+
+// TestAbandonedResultChannel: a caller that walks away from its result
+// channel costs nothing — the buffered delivery never blocks the worker,
+// the admission slot is returned, and the server keeps serving.
+func TestAbandonedResultChannel(t *testing.T) {
+	s, err := New(Options{Workers: 1, QueueDepth: 2, DefaultDeadline: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := library(t, 1, 3, 12)
+	// Abandon two results — as many as the whole queue holds.
+	for i := 0; i < 2; i++ {
+		if _, err := s.Submit(&Job{Kind: JobCheck, Model: models[i], Check: fastCheck}); err != nil {
+			t.Fatalf("abandoned submit %d: %v", i, err)
+		}
+	}
+	// The slots come back without anyone reading those channels.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.QueueDepth() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue depth stuck at %d with abandoned callers", s.QueueDepth())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ch, err := s.Submit(&Job{Kind: JobCheck, Model: models[2], Check: fastCheck})
+	if err != nil {
+		t.Fatalf("submit after abandonment: %v", err)
+	}
+	if res := <-ch; res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	drainOrFail(t, s)
+}
+
+// TestDrainZeroAccepted: draining an idle server completes immediately,
+// saves nothing, and stays drained.
+func TestDrainZeroAccepted(t *testing.T) {
+	s, err := New(Options{Workers: 2, QueueDepth: 4, DefaultDeadline: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain of idle server: %v", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("idle drain took %v", d)
+	}
+	if err := s.Drain(ctx); err == nil {
+		t.Fatal("second drain must report already draining")
+	}
+	models := library(t, 1, 1, 12)
+	if _, err := s.Submit(&Job{Kind: JobCheck, Model: models[0], Check: fastCheck}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit after idle drain: %v, want ErrDraining", err)
 	}
 }
 

@@ -1,11 +1,13 @@
 package repro
 
 import (
+	"bytes"
 	"container/list"
 	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc64"
 	"io"
 	"math"
 	"os"
@@ -611,11 +613,21 @@ func (s *Session) EnforceBatch(ctx context.Context, models []*Macromodel, opts B
 
 const (
 	sessionCacheMagic   = 0x53455343 // "SESC"
-	sessionCacheVersion = 1
+	sessionCacheVersion = 3          // v3 added the CRC-64 footer; v2 files reload cold
 	// SessionCacheExt is the filename extension of persisted session
 	// caches (one file per pole-set fingerprint).
 	SessionCacheExt = ".evc"
+	// SessionCacheCorruptExt is appended to a cache file's name when
+	// LoadCacheQuarantine sets it aside as unreadable or corrupt.
+	SessionCacheCorruptExt = ".corrupt"
 )
+
+// sessionCacheCRC is the checksum of the version-3 cache-file footer: a
+// CRC-64/ECMA over every preceding byte of the file, written as the last
+// 8 bytes. A half-written or bit-flipped file (power loss mid-rename on
+// a non-atomic filesystem, disk corruption) fails the footer check and
+// is rejected before any payload is parsed.
+var sessionCacheCRC = crc64.MakeTable(crc64.ECMA)
 
 // SaveCache persists every resident evaluation cache to dir (created if
 // missing), one file per pole-set fingerprint, readable by LoadCache.
@@ -672,19 +684,26 @@ func saveSessionCacheFile(dir string, e *sessionCache) error {
 }
 
 func writeSessionCache(w io.Writer, e *sessionCache) error {
+	// Everything before the footer runs through the CRC so the loader can
+	// verify the whole file in one pass.
+	h := crc64.New(sessionCacheCRC)
+	hw := io.MultiWriter(w, h)
 	head := []uint64{
 		uint64(sessionCacheMagic)<<32 | sessionCacheVersion,
 		e.poleFP,
 		e.resFP,
 		uint64(len(e.poles)),
 	}
-	if err := binary.Write(w, binary.LittleEndian, head); err != nil {
+	if err := binary.Write(hw, binary.LittleEndian, head); err != nil {
 		return err
 	}
-	if err := binary.Write(w, binary.LittleEndian, e.poles); err != nil {
+	if err := binary.Write(hw, binary.LittleEndian, e.poles); err != nil {
 		return err
 	}
-	return e.cache.Save(w)
+	if err := e.cache.Save(hw); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, h.Sum64())
 }
 
 // LoadCache loads every cache file previously written by SaveCache from
@@ -707,15 +726,52 @@ func (s *Session) LoadCache(dir string) error {
 	return firstErr
 }
 
+// LoadCacheQuarantine loads every cache file written by SaveCache from
+// dir, like LoadCache, but instead of reporting unreadable or corrupt
+// files as errors it quarantines them: the offending file is renamed to
+// its own name plus SessionCacheCorruptExt and skipped, so the next load
+// never trips over it again and the caller starts cold for just that
+// pole set. It returns the number of caches loaded and quarantined; err
+// covers only infrastructure failures (an unreadable directory, a rename
+// that itself failed), never cache corruption. Services reloading caches
+// after an unclean shutdown want this entry point — a torn cache file
+// must cost one cold pole set, not the whole warm start.
+func (s *Session) LoadCacheQuarantine(dir string) (loaded, quarantined int, err error) {
+	paths, globErr := filepath.Glob(filepath.Join(dir, "cache-*"+SessionCacheExt))
+	if globErr != nil {
+		return 0, 0, globErr
+	}
+	sort.Strings(paths)
+	var firstErr error
+	for _, path := range paths {
+		loadErr := s.loadCacheFile(path)
+		if loadErr == nil {
+			loaded++
+			continue
+		}
+		if renameErr := os.Rename(path, path+SessionCacheCorruptExt); renameErr != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("repro: quarantining %s (%v): %w", path, loadErr, renameErr)
+			}
+			continue
+		}
+		quarantined++
+	}
+	return loaded, quarantined, firstErr
+}
+
 func (s *Session) loadCacheFile(path string) error {
-	f, err := os.Open(path)
+	blob, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	const headBytes, footBytes = 4 * 8, 8
+	if len(blob) < headBytes+footBytes {
+		return fmt.Errorf("truncated cache file (%d bytes)", len(blob))
+	}
 	var head [4]uint64
-	if err := binary.Read(f, binary.LittleEndian, head[:]); err != nil {
-		return err
+	for i := range head {
+		head[i] = binary.LittleEndian.Uint64(blob[i*8:])
 	}
 	if head[0]>>32 != sessionCacheMagic {
 		return fmt.Errorf("bad magic %#x", head[0]>>32)
@@ -723,18 +779,27 @@ func (s *Session) loadCacheFile(path string) error {
 	if v := head[0] & 0xffffffff; v != sessionCacheVersion {
 		return fmt.Errorf("unsupported version %d", v)
 	}
+	// The footer CRC covers every byte before it; verify before parsing
+	// anything, so corruption is one deterministic error instead of
+	// whatever a damaged payload happens to decode as.
+	body := blob[:len(blob)-footBytes]
+	want := binary.LittleEndian.Uint64(blob[len(blob)-footBytes:])
+	if got := crc64.Checksum(body, sessionCacheCRC); got != want {
+		return fmt.Errorf("checksum mismatch (file %016x, computed %016x)", want, got)
+	}
+	r := bytes.NewReader(body[headBytes:])
 	nPoles := head[3]
 	if nPoles > 1<<20 {
 		return fmt.Errorf("implausible pole count %d", nPoles)
 	}
 	poles := make([]complex128, nPoles)
-	if err := binary.Read(f, binary.LittleEndian, poles); err != nil {
+	if err := binary.Read(r, binary.LittleEndian, poles); err != nil {
 		return err
 	}
 	if fp := poleFingerprint(poles); fp != head[1] {
 		return fmt.Errorf("pole fingerprint mismatch (file %016x, poles %016x)", head[1], fp)
 	}
-	cache, err := passivity.LoadEvalCache(f)
+	cache, err := passivity.LoadEvalCache(r)
 	if err != nil {
 		return err
 	}

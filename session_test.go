@@ -3,7 +3,10 @@ package repro_test
 import (
 	"context"
 	"errors"
+	"os"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -164,6 +167,74 @@ func TestSessionCachePersistence(t *testing.T) {
 	// An empty directory loads cleanly.
 	if err := repro.NewSession().LoadCache(t.TempDir()); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSessionCacheChecksum: a saved cache file carries a CRC-64 footer;
+// a flipped byte anywhere makes LoadCache fail deterministically and
+// makes LoadCacheQuarantine set the file aside as .corrupt and continue.
+func TestSessionCacheChecksum(t *testing.T) {
+	models := violatingLibrary(t, 2, 20)
+	opts := repro.CheckOptions{Method: repro.CheckAdaptive}
+	dir := t.TempDir()
+
+	s1 := repro.NewSession()
+	for _, m := range models {
+		if _, err := s1.Check(context.Background(), m, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s1.SaveCache(dir); err != nil {
+		t.Fatal(err)
+	}
+	paths, err := filepath.Glob(filepath.Join(dir, "cache-*"+repro.SessionCacheExt))
+	if err != nil || len(paths) != 2 {
+		t.Fatalf("saved files %v (err %v), want 2", paths, err)
+	}
+
+	// Corrupt one file mid-payload: the pristine sibling must still load.
+	blob, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)/2] ^= 0xff
+	if err := os.WriteFile(paths[0], blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := repro.NewSession()
+	if err := s2.LoadCache(dir); err == nil || !strings.Contains(err.Error(), "checksum mismatch") {
+		t.Fatalf("LoadCache of corrupt file: %v, want checksum mismatch", err)
+	}
+	if st := s2.CacheStats(); st.Models != 1 {
+		t.Fatalf("corrupt load left %d caches, want 1 (the intact file)", st.Models)
+	}
+
+	s3 := repro.NewSession()
+	loaded, quarantined, err := s3.LoadCacheQuarantine(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded != 1 || quarantined != 1 {
+		t.Fatalf("quarantine load: loaded %d quarantined %d, want 1/1", loaded, quarantined)
+	}
+	if _, err := os.Stat(paths[0]); !os.IsNotExist(err) {
+		t.Fatalf("corrupt file still present: %v", err)
+	}
+	if _, err := os.Stat(paths[0] + repro.SessionCacheCorruptExt); err != nil {
+		t.Fatalf("quarantined file missing: %v", err)
+	}
+	// A repeat load no longer sees the quarantined file.
+	if loaded, quarantined, err = repro.NewSession().LoadCacheQuarantine(dir); err != nil || loaded != 1 || quarantined != 0 {
+		t.Fatalf("post-quarantine reload: %d/%d/%v, want 1/0/nil", loaded, quarantined, err)
+	}
+
+	// A truncated file (torn write) is quarantined too, not parsed.
+	if err := os.WriteFile(paths[0], blob[:20], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, quarantined, err = repro.NewSession().LoadCacheQuarantine(dir); err != nil || quarantined != 1 {
+		t.Fatalf("truncated-file quarantine: %d/%v, want 1/nil", quarantined, err)
 	}
 }
 
