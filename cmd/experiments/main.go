@@ -6,7 +6,13 @@
 // certified enforcement escape rate), printing the shape metrics recorded
 // in EXPERIMENTS.md and writing one CSV per figure.
 //
-// Usage:
+// The promoted hypothesis harness lives behind subcommands:
+//
+//	experiments list                     show registered hypotheses
+//	experiments run [-out dir] [id ...]  evaluate hypotheses, write FINDINGS
+//	experiments report [-out dir]        summarize FINDINGS artifacts on disk
+//
+// Legacy figure mode (no subcommand):
 //
 //	experiments [-fig all|figs|ext|1|..|6|A|..|H] [-out dir] [-points N] [-poles N] [-quick]
 package main
@@ -15,13 +21,119 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/experiments/hypothesis"
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "list":
+			os.Exit(runList())
+		case "run":
+			os.Exit(runHypotheses(os.Args[2:]))
+		case "report":
+			os.Exit(runReport(os.Args[2:]))
+		}
+	}
+	os.Exit(runFigures())
+}
+
+func registry() *hypothesis.Registry {
+	reg, err := experiments.Hypotheses()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: building hypothesis registry: %v\n", err)
+		os.Exit(1)
+	}
+	return reg
+}
+
+func runList() int {
+	for _, s := range registry().Specs() {
+		fmt.Printf("%-26s %s/%s\n    %s\n", s.ID, s.Class, s.Subtype, s.Claim)
+	}
+	return 0
+}
+
+func runHypotheses(args []string) int {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	out := fs.String("out", "results/findings", "directory for FINDINGS artifacts (empty = no files)")
+	fs.Parse(args)
+
+	reg := registry()
+	var specs []*hypothesis.Spec
+	ids := fs.Args()
+	if len(ids) == 0 || (len(ids) == 1 && ids[0] == "all") {
+		specs = reg.Specs()
+	} else {
+		for _, id := range ids {
+			s, ok := reg.Get(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "experiments: unknown hypothesis %q (try 'experiments list')\n", id)
+				return 2
+			}
+			specs = append(specs, s)
+		}
+	}
+
+	t0 := time.Now()
+	exit := 0
+	for _, s := range specs {
+		t1 := time.Now()
+		f, err := hypothesis.Evaluate(s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", s.ID, err)
+			return 1
+		}
+		fmt.Printf("%-26s %-12s %s  (%.1fs)\n", f.ID, string(f.Verdict), f.Reason, time.Since(t1).Seconds())
+		if f.Verdict == hypothesis.Refuted {
+			exit = 1
+		}
+		if *out != "" {
+			if _, err := f.Write(*out); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: writing FINDINGS: %v\n", err)
+				return 1
+			}
+		}
+	}
+	if *out != "" {
+		fmt.Printf("total %.1fs; FINDINGS artifacts in %s\n", time.Since(t0).Seconds(), *out)
+	}
+	return exit
+}
+
+func runReport(args []string) int {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	out := fs.String("out", "results/findings", "directory holding FINDINGS-*.json artifacts")
+	fs.Parse(args)
+
+	paths, err := filepath.Glob(filepath.Join(*out, "FINDINGS-*.json"))
+	if err != nil || len(paths) == 0 {
+		fmt.Fprintf(os.Stderr, "experiments: no FINDINGS artifacts in %s (run 'experiments run' first)\n", *out)
+		return 1
+	}
+	sort.Strings(paths)
+	exit := 0
+	for _, p := range paths {
+		f, err := hypothesis.ReadFinding(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: reading %s: %v\n", p, err)
+			return 1
+		}
+		fmt.Printf("%-26s %-12s %s\n", f.ID, string(f.Verdict), f.Reason)
+		if f.Verdict == hypothesis.Refuted {
+			exit = 1
+		}
+	}
+	return exit
+}
+
+func runFigures() int {
 	fig := flag.String("fig", "all", "what to regenerate: all, figs, ext, 1..6, or A..D")
 	out := flag.String("out", "results", "output directory for CSV series (empty = no files)")
 	points := flag.Int("points", 0, "frequency points (default per profile)")
@@ -62,7 +174,7 @@ func main() {
 		k := strings.ToUpper(*fig)
 		if _, ok := run[k]; !ok {
 			fmt.Fprintf(os.Stderr, "experiments: bad -fig %q (want all, figs, ext, 1..6 or A..G)\n", *fig)
-			os.Exit(2)
+			return 2
 		}
 		keys = []string{k}
 	}
@@ -73,16 +185,17 @@ func main() {
 		res, err := run[k]()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", k, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Print(res.Summary())
 		if *out != "" {
 			if err := res.WriteCSV(*out); err != nil {
 				fmt.Fprintf(os.Stderr, "experiments: writing CSV: %v\n", err)
-				os.Exit(1)
+				return 1
 			}
 		}
 		fmt.Printf("  (%.1fs)\n\n", time.Since(t1).Seconds())
 	}
 	fmt.Printf("total %.1fs; CSV series in %s\n", time.Since(t0).Seconds(), *out)
+	return 0
 }

@@ -595,7 +595,8 @@ func printReport(rep *repro.PassivityReport) {
 }
 
 // printCertificate reports which pipeline stage settled the verdict and
-// what each stage spent (eigenproblem size, intervals certified, samples).
+// what each stage spent (eigenproblem size, intervals certified, samples,
+// and for the terminal contour-counter stage its quadrature nodes).
 func printCertificate(c *repro.PassivityCertificate) {
 	if c == nil {
 		return
@@ -613,7 +614,16 @@ func printCertificate(c *repro.PassivityCertificate) {
 		if s.Samples > 0 {
 			fmt.Printf(", %d σ samples", s.Samples)
 		}
+		if s.Nodes > 0 {
+			fmt.Printf(", %d contour nodes", s.Nodes)
+		}
+		if s.Note != "" {
+			fmt.Printf(" [%s]", s.Note)
+		}
 		fmt.Println()
+	}
+	for _, b := range c.Open {
+		fmt.Printf("  OPEN band [%g, %g] Hz — no stage could settle it\n", b.FreqLoHz, b.FreqHiHz)
 	}
 }
 

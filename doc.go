@@ -87,16 +87,27 @@
 //	hamiltonian-probe       shift-and-invert eigenvalue probe near targeted
 //	                        frequencies — a best-effort detector beyond the
 //	                        eigensolve frontier, not a certificate.
+//	interval-counter        argument-principle contour integral: the exact
+//	                        number of level-γ Hamiltonian eigenvalues in a
+//	                        thin rectangle around each still-open jω
+//	                        segment, from the winding of arg det(zI − M).
+//	                        Zero is a rigorous emptiness certificate; a
+//	                        nonzero count bisects into certified violation
+//	                        bands. Free when nothing is open, and declines
+//	                        above CertifyOptions.CounterMaxDim.
 //
 // Inside EnforcePassivity the pipeline runs on every convergence of the
 // fast per-sweep check; violation bands it proves re-enter the loop as
 // constraints instead of terminating it, which turns the sampling false
 // pass into an impossible state whenever the rigorous stages cover the
 // axis — PassivityCertificate.Certified records whether they did, and a
-// false value marks a best-effort verdict. The final verdict carries a
+// false value marks a best-effort verdict. With the terminal counter
+// stage, every certificate within the counter's dimension gate either
+// lists violations or reports no open intervals
+// (PassivityCertificate.Open == nil). The final verdict carries a
 // PassivityCertificate naming the stage that settled it and its cost
-// (largest eigenproblem dimension, intervals, σ samples); passcheck
-// prints it with -certify.
+// (largest eigenproblem dimension, intervals, σ samples, contour
+// nodes); passcheck prints it with -certify.
 //
 // # Beyond the paper's figures
 //

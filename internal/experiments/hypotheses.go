@@ -1,0 +1,388 @@
+package experiments
+
+// Hypothesis-harness promotion of the extension experiments: the claims
+// the Ext-E..Ext-H figures demonstrate, restated falsifiably and run under
+// the classification rigor of internal/experiments/hypothesis —
+// deterministic invariants on a single seed (failure = bug), statistical
+// claims on ≥3 seeds with directional consistency and a >20% (or bounded)
+// effect threshold on every seed. The FigResult versions remain the
+// plotted artifacts; these are the judged, reproducible FINDINGS.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments/hypothesis"
+	"repro/internal/passivity"
+	"repro/internal/rational"
+)
+
+// Hypotheses returns the registry of promoted extension experiments.
+func Hypotheses() (*hypothesis.Registry, error) {
+	r := hypothesis.NewRegistry()
+	for _, s := range []hypothesis.Spec{
+		extEAdaptiveEconomy(),
+		extFBatchBitwise(),
+		extGGramianOracle(),
+		extHCertifiedClosure(),
+		extHCertifiedOverhead(),
+	} {
+		if err := r.Register(s); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// extEAdaptiveEconomy — Ext-E promoted: the adaptive characterizer reaches
+// the fixed sweep's verdict on >20% fewer σ evaluations, on every seed.
+func extEAdaptiveEconomy() hypothesis.Spec {
+	return hypothesis.Spec{
+		ID:      "ext-e-adaptive-economy",
+		Title:   "Adaptive characterization beats the fixed sweep on sample economy",
+		Claim:   "On violating synthetic models the multi-stage adaptive characterizer reaches the same passivity verdict as the 1200-point fixed sweep while spending >20% fewer σ(ω) evaluations, consistently across seeds.",
+		Class:   hypothesis.Statistical,
+		Subtype: hypothesis.Dominance,
+		Primary: "sweep_samples/adaptive_samples",
+		Run: func(seed int64) (hypothesis.Trial, error) {
+			m, err := passivity.SyntheticModel(passivity.SyntheticOptions{
+				Ports: 2, Poles: 40, Seed: seed, PeakGain: 1.1,
+			})
+			if err != nil {
+				return hypothesis.Trial{}, err
+			}
+			sweep, err := passivity.Check(m, passivity.CheckOptions{Method: passivity.MethodSweep, SweepPoints: 1200})
+			if err != nil {
+				return hypothesis.Trial{}, err
+			}
+			adaptive, err := passivity.Check(m, passivity.CheckOptions{Method: passivity.MethodAdaptive})
+			if err != nil {
+				return hypothesis.Trial{}, err
+			}
+			if adaptive.Samples == 0 {
+				return hypothesis.Trial{}, fmt.Errorf("adaptive characterizer reported zero samples")
+			}
+			return hypothesis.Trial{
+				Primary: float64(sweep.Samples) / float64(adaptive.Samples),
+				Pass:    sweep.Passive == adaptive.Passive,
+				Metrics: map[string]float64{
+					"sweep_samples":      float64(sweep.Samples),
+					"adaptive_samples":   float64(adaptive.Samples),
+					"sweep_max_sigma":    sweep.MaxSigma,
+					"adaptive_max_sigma": adaptive.MaxSigma,
+					"verdict_agreement":  b2f(sweep.Passive == adaptive.Passive),
+				},
+			}, nil
+		},
+	}
+}
+
+// extFBatchBitwise — Ext-F promoted: sharded batch enforcement is bitwise
+// identical to sequential per-model enforcement.
+func extFBatchBitwise() hypothesis.Spec {
+	return hypothesis.Spec{
+		ID:      "ext-f-batch-bitwise",
+		Title:   "Batch enforcement is bitwise identical to sequential",
+		Class:   hypothesis.Deterministic,
+		Subtype: hypothesis.Invariant,
+		Claim:   "EnforcePassivityBatch produces residue matrices bitwise identical to sequential EnforcePassivity on the same library, for every model, with the whole library enforced passive.",
+		Primary: "bitwise_mismatches",
+		Run: func(seed int64) (hypothesis.Trial, error) {
+			const libSize = 4
+			build := func() ([]*rational.Model, error) {
+				lib := make([]*rational.Model, libSize)
+				for i := range lib {
+					m, err := passivity.SyntheticModel(passivity.SyntheticOptions{
+						Ports: 2, Poles: 24, Seed: seed*1000 + int64(i), PeakGain: 1.1,
+					})
+					if err != nil {
+						return nil, err
+					}
+					lib[i] = m
+				}
+				return lib, nil
+			}
+			opts := passivity.EnforceOptions{Check: passivity.CheckOptions{Method: passivity.MethodAdaptive}, ClampD: true}
+			seq, err := build()
+			if err != nil {
+				return hypothesis.Trial{}, err
+			}
+			passive := libSize
+			for i, m := range seq {
+				rep, err := passivity.Enforce(m, opts)
+				if err != nil {
+					return hypothesis.Trial{}, fmt.Errorf("sequential model %d: %w", i, err)
+				}
+				if !rep.Passive {
+					passive--
+				}
+			}
+			bat, err := build()
+			if err != nil {
+				return hypothesis.Trial{}, err
+			}
+			brep := passivity.EnforceBatch(bat, passivity.BatchOptions{Enforce: opts, Workers: 4})
+			mismatches := 0
+			for i := range bat {
+				if brep.Results[i].Err != nil {
+					return hypothesis.Trial{}, fmt.Errorf("batch model %d: %w", i, brep.Results[i].Err)
+				}
+				for k := range bat[i].Residues {
+					if !bat[i].Residues[k].Equalish(seq[i].Residues[k], 0) {
+						mismatches++
+					}
+				}
+			}
+			return hypothesis.Trial{
+				Primary: float64(mismatches),
+				Pass:    mismatches == 0 && passive == libSize && brep.Stats.Passive == libSize,
+				Metrics: map[string]float64{
+					"library_size":       libSize,
+					"bitwise_mismatches": float64(mismatches),
+					"sequential_passive": float64(passive),
+					"batch_passive":      float64(brep.Stats.Passive),
+				},
+			}, nil
+		},
+	}
+}
+
+// extGGramianOracle — Ext-G promoted: the closed-form cascade Gramian
+// matches the dense Lyapunov oracle to near machine precision.
+func extGGramianOracle() hypothesis.Spec {
+	return hypothesis.Spec{
+		ID:      "ext-g-gramian-oracle",
+		Title:   "Closed-form cascade Gramian matches the dense Lyapunov oracle",
+		Class:   hypothesis.Deterministic,
+		Subtype: hypothesis.Invariant,
+		Claim:   "rational-model weighted Gramians from the closed-form cascade construction agree with the dense statespace Lyapunov oracle within 1e-10 relative Frobenius error across model orders.",
+		Primary: "worst_rel_frobenius_err",
+		Run: func(seed int64) (hypothesis.Trial, error) {
+			rng := rand.New(rand.NewSource(seed))
+			weight, err := rational.RandomScalarWeight(rng, 8)
+			if err != nil {
+				return hypothesis.Trial{}, err
+			}
+			worst := 0.0
+			for _, np := range []int{100, 250} {
+				poles := rational.RandomStablePoles(rng, np)
+				model, err := rational.NewScalar(poles, make([]complex128, len(poles)), 0)
+				if err != nil {
+					return hypothesis.Trial{}, err
+				}
+				fast, err := core.WeightedGramian(model, weight)
+				if err != nil {
+					return hypothesis.Trial{}, err
+				}
+				dense, err := core.WeightedGramianDense(model, weight)
+				if err != nil {
+					return hypothesis.Trial{}, err
+				}
+				var num, den float64
+				for i := 0; i < dense.Rows; i++ {
+					for j := 0; j < dense.Cols; j++ {
+						d := fast.At(i, j) - dense.At(i, j)
+						num += d * d
+						den += dense.At(i, j) * dense.At(i, j)
+					}
+				}
+				worst = math.Max(worst, math.Sqrt(num/den))
+			}
+			return hypothesis.Trial{
+				Primary: worst,
+				Pass:    worst <= 1e-10,
+				Metrics: map[string]float64{"worst_rel_frobenius_err": worst},
+			}, nil
+		},
+	}
+}
+
+// extHCorpus builds the Ext-H certification corpus: 100 random 10-pole
+// violating models, every fourth carrying the narrow off-resonance
+// "shoulder" band the stage-capped adaptive sampling steps over.
+func extHCorpus(size int) ([]*rational.Model, error) {
+	models := make([]*rational.Model, size)
+	for i := range models {
+		opts := passivity.SyntheticOptions{Ports: 2, Poles: 10, Seed: int64(9000 + i), PeakGain: 0.45}
+		if i%4 == 0 {
+			opts.NarrowBand = true
+			opts.PeakGain = 0.4
+		}
+		m, err := passivity.SyntheticModel(opts)
+		if err != nil {
+			return nil, err
+		}
+		models[i] = m
+	}
+	return models, nil
+}
+
+// extHEnforce runs the weighted Ext-H enforcement at the stage-capped
+// adaptive operating point (the documented false-pass configuration).
+func extHEnforce(models []*rational.Model, certify bool) (*passivity.BatchReport, time.Duration, error) {
+	rng := rand.New(rand.NewSource(1404))
+	weight, err := rational.RandomScalarWeight(rng, 4)
+	if err != nil {
+		return nil, 0, err
+	}
+	t0 := time.Now()
+	rep := passivity.EnforceBatch(models, passivity.BatchOptions{
+		Enforce: passivity.EnforceOptions{
+			Check:   passivity.CheckOptions{Method: passivity.MethodAdaptive, AdaptiveMaxStages: 6},
+			Certify: certify,
+		},
+		Weight:  weight,
+		Workers: 1,
+	})
+	return rep, time.Since(t0), nil
+}
+
+// extHCertifiedClosure — the terminal contour-counter claim on the Ext-H
+// corpus: certified enforcement leaves zero unsettled intervals and zero
+// oracle escapes. Before the counter stage the probe pipeline could leave
+// Open intervals behind (best-effort verdicts); with it every certificate
+// must finish the whole axis.
+func extHCertifiedClosure() hypothesis.Spec {
+	return hypothesis.Spec{
+		ID:      "ext-h-certified-closure",
+		Title:   "Certified enforcement settles every interval (Open == nil) with zero escapes",
+		Class:   hypothesis.Deterministic,
+		Subtype: hypothesis.Invariant,
+		Claim:   "On the Ext-H 100-model weighted-enforcement corpus, every certificate returned by the counter-terminated pipeline is Certified with zero Open intervals, and the dense Hamiltonian oracle rejects none of the enforced models.",
+		Primary: "open_intervals_plus_escapes",
+		Run: func(int64) (hypothesis.Trial, error) {
+			models, err := extHCorpus(100)
+			if err != nil {
+				return hypothesis.Trial{}, err
+			}
+			rep, elapsed, err := extHEnforce(models, true)
+			if err != nil {
+				return hypothesis.Trial{}, err
+			}
+			openIntervals, uncertified, escapes, nodes := 0, 0, 0, 0
+			for i, res := range rep.Results {
+				if res.Err != nil {
+					return hypothesis.Trial{}, fmt.Errorf("model %d: %w", i, res.Err)
+				}
+				cert := res.Report.Certificate
+				if cert == nil || !cert.Certified {
+					uncertified++
+				}
+				if cert != nil {
+					openIntervals += len(cert.Open)
+					for _, st := range cert.Stages {
+						nodes += st.Nodes
+					}
+				}
+				oracle, err := passivity.Check(models[i], passivity.CheckOptions{Method: passivity.MethodHamiltonian})
+				if err != nil {
+					return hypothesis.Trial{}, err
+				}
+				if !oracle.Passive {
+					escapes++
+				}
+			}
+			return hypothesis.Trial{
+				Primary: float64(openIntervals + escapes),
+				Pass:    openIntervals == 0 && escapes == 0 && uncertified == 0,
+				Metrics: map[string]float64{
+					"library_size":      float64(len(models)),
+					"open_intervals":    float64(openIntervals),
+					"uncertified":       float64(uncertified),
+					"oracle_escapes":    float64(escapes),
+					"counter_nodes":     float64(nodes),
+					"certified_rescues": float64(rep.Stats.CertifiedRescues),
+					"elapsed_ms":        float64(elapsed.Milliseconds()),
+				},
+			}, nil
+		},
+	}
+}
+
+// extHCertifiedOverhead — the certification-cost claim on the BENCH_4
+// steady-state workload: enforcement of already-passive models (the
+// library-service steady state) with the counter-terminated full-axis
+// certificate costs at most 25% more wall-clock than without it. On the
+// violating corpus certify=true also re-enforces rescued bands — extra
+// enforcement work, not certificate cost — so the bound is measured where
+// BENCH_4.json measured it: models whose enforcement converges immediately
+// and whose entire added cost is the certificate.
+func extHCertifiedOverhead() hypothesis.Spec {
+	return hypothesis.Spec{
+		ID:        "ext-h-certified-overhead",
+		Title:     "Certification overhead stays within 25% on the steady-state path",
+		Class:     hypothesis.Statistical,
+		Subtype:   hypothesis.Bounded,
+		Claim:     "Enforcing a library of truly passive models with full-axis certification (counter-terminated pipeline) costs at most 25% more wall-clock than the same run without certification, on every seed.",
+		Primary:   "certification_overhead",
+		Threshold: 0.25,
+		Run: func(seed int64) (hypothesis.Trial, error) {
+			// BENCH_4 sizing: nP ≥ 500 keeps the pipeline on the large-model
+			// branch, and the generous passivity headroom (low peak gain)
+			// keeps every seed on the eigensolve-free tail-bound + Lipschitz
+			// path — the steady state the ≤25% bound is about.
+			const libSize = 8
+			build := func() ([]*rational.Model, error) {
+				lib := make([]*rational.Model, libSize)
+				for i := range lib {
+					m, err := passivity.SyntheticModel(passivity.SyntheticOptions{
+						Ports: 2, Poles: 250 + 125*(i%3), Seed: seed*100 + int64(i),
+						PeakGain: 0.04, DSigma: 0.6,
+					})
+					if err != nil {
+						return nil, err
+					}
+					lib[i] = m
+				}
+				return lib, nil
+			}
+			run := func(certify bool) (time.Duration, int, error) {
+				lib, err := build()
+				if err != nil {
+					return 0, 0, err
+				}
+				opts := passivity.EnforceOptions{
+					Check:   passivity.CheckOptions{Method: passivity.MethodAdaptive},
+					Certify: certify,
+				}
+				t0 := time.Now()
+				certified := 0
+				for i, m := range lib {
+					rep, err := passivity.Enforce(m, opts)
+					if err != nil {
+						return 0, 0, fmt.Errorf("model %d: %w", i, err)
+					}
+					if !rep.Passive {
+						return 0, 0, fmt.Errorf("model %d unexpectedly non-passive", i)
+					}
+					if rep.Certificate != nil && rep.Certificate.Certified {
+						certified++
+					}
+				}
+				return time.Since(t0), certified, nil
+			}
+			plainElapsed, _, err := run(false)
+			if err != nil {
+				return hypothesis.Trial{}, err
+			}
+			certElapsed, certified, err := run(true)
+			if err != nil {
+				return hypothesis.Trial{}, err
+			}
+			overhead := certElapsed.Seconds()/math.Max(plainElapsed.Seconds(), 1e-9) - 1
+			return hypothesis.Trial{
+				Primary: overhead,
+				Pass:    overhead <= 0.25,
+				Metrics: map[string]float64{
+					"library_size":     libSize,
+					"certified_models": float64(certified),
+					"uncertified_ms":   float64(plainElapsed.Milliseconds()),
+					"certified_ms":     float64(certElapsed.Milliseconds()),
+				},
+			}, nil
+		},
+	}
+}

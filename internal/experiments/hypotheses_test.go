@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments/hypothesis"
+)
+
+// TestHypothesesShape pins down the registered specs: the promoted
+// Ext-E..Ext-H experiments must keep their IDs, classes and judgement
+// subtypes, because FINDINGS artifacts and the CLI refer to them by ID.
+func TestHypothesesShape(t *testing.T) {
+	reg, err := Hypotheses()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		id      string
+		class   hypothesis.Class
+		subtype hypothesis.Subtype
+	}{
+		{"ext-e-adaptive-economy", hypothesis.Statistical, hypothesis.Dominance},
+		{"ext-f-batch-bitwise", hypothesis.Deterministic, hypothesis.Invariant},
+		{"ext-g-gramian-oracle", hypothesis.Deterministic, hypothesis.Invariant},
+		{"ext-h-certified-closure", hypothesis.Deterministic, hypothesis.Invariant},
+		{"ext-h-certified-overhead", hypothesis.Statistical, hypothesis.Bounded},
+	}
+	specs := reg.Specs()
+	if len(specs) != len(want) {
+		t.Fatalf("registry holds %d specs, want %d", len(specs), len(want))
+	}
+	for i, w := range want {
+		s := specs[i]
+		if s.ID != w.id || s.Class != w.class || s.Subtype != w.subtype {
+			t.Fatalf("spec %d = %s/%s/%s, want %s/%s/%s",
+				i, s.ID, s.Class, s.Subtype, w.id, w.class, w.subtype)
+		}
+		if s.Claim == "" || s.Primary == "" {
+			t.Fatalf("spec %s missing claim or primary metric", s.ID)
+		}
+		if s.Subtype == hypothesis.Bounded && s.Threshold <= 0 {
+			t.Fatalf("bounded spec %s has no explicit threshold", s.ID)
+		}
+	}
+}
+
+// TestHypothesesDeterministicConfirm evaluates the cheap deterministic
+// specs end-to-end and checks the artifacts they emit. The statistical
+// timing specs (ext-e economy, ext-h overhead) are exercised by the CLI
+// and their committed FINDINGS artifacts, not re-timed here.
+func TestHypothesesDeterministicConfirm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping model-building hypothesis runs in -short mode")
+	}
+	reg, err := Hypotheses()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	for _, id := range []string{"ext-f-batch-bitwise", "ext-g-gramian-oracle"} {
+		spec, ok := reg.Get(id)
+		if !ok {
+			t.Fatalf("spec %s not registered", id)
+		}
+		f, err := hypothesis.Evaluate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Verdict != hypothesis.Confirmed {
+			t.Fatalf("%s judged %s: %s", id, f.Verdict, f.Reason)
+		}
+		jsPath, err := f.Write(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := hypothesis.ReadFinding(jsPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.ID != id || back.Verdict != hypothesis.Confirmed {
+			t.Fatalf("artifact for %s read back as %s/%s", id, back.ID, back.Verdict)
+		}
+		md, err := os.ReadFile(strings.TrimSuffix(jsPath, ".json") + ".md")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(md), "## Verdict: CONFIRMED") {
+			t.Fatalf("%s markdown artifact missing verdict header", id)
+		}
+	}
+}

@@ -40,6 +40,8 @@ const (
 	StageRestricted = "hamiltonian-restricted"
 	// StageProbe is the targeted (shift-and-invert) eigenvalue probe.
 	StageProbe = "hamiltonian-probe"
+	// StageCounter (declared in counter.go) is the terminal contour-integral
+	// eigenvalue counter.
 )
 
 // CertInterval is one frequency interval [Lo, Hi] (rad/s) the pipeline
@@ -55,6 +57,7 @@ type StageCost struct {
 	Violations int    // violations this stage proved on the full model
 	EigenDim   int    // largest eigenproblem dimension solved (0 = none)
 	Samples    int    // direct σ(ω) evaluations spent (peak polishing excluded)
+	Nodes      int    // contour-quadrature determinant evaluations (counter stage)
 	Note       string // non-fatal diagnostics (e.g. an eigensolve that bailed)
 }
 
@@ -98,6 +101,18 @@ type CertifyOptions struct {
 	// SweepMaxSamples caps the σ evaluations of the Lipschitz certified
 	// sweep (default 20000; they route through the run's EvalCache).
 	SweepMaxSamples int
+	// CounterMaxNodes caps the determinant evaluations (complex LU
+	// factorizations of the level-γ Hamiltonian resolvent) the terminal
+	// contour-counter stage spends per certification run (default 50000).
+	// Intervals whose quadrature exhausts the budget stay open with a Note.
+	CounterMaxNodes int
+	// CounterMaxDim caps the Hamiltonian dimension N = 2·n·P the counter
+	// stage will walk contours around (default 600, matching MaxDim). Each
+	// quadrature node is one O(N³) complex LU, so beyond the dense-eigentest
+	// frontier the counter is no cheaper than the oracle it replaces;
+	// larger models keep their unsettled intervals open with a Note (the
+	// ROADMAP's symplectic large-N eigensolver is the planned escalation).
+	CounterMaxDim int
 }
 
 func (o *CertifyOptions) defaults() {
@@ -118,6 +133,12 @@ func (o *CertifyOptions) defaults() {
 	}
 	if o.SweepMaxSamples <= 0 {
 		o.SweepMaxSamples = 20000
+	}
+	if o.CounterMaxNodes <= 0 {
+		o.CounterMaxNodes = 50000
+	}
+	if o.CounterMaxDim <= 0 {
+		o.CounterMaxDim = 600
 	}
 }
 
@@ -183,14 +204,16 @@ func ProbeCertifier() Certifier { return probeStage{} }
 // the Lipschitz certified sweep (which exploits the residue phase
 // cancellation the magnitude bounds cannot see) with the restricted
 // eigentest and the targeted probe picking up the near-boundary slivers
-// the sweep leaves open.
+// the sweep leaves open. Both chains end with the contour-integral counter
+// stage, which rigorously retires whatever survives — every certificate
+// finishes with Open == nil unless the quadrature itself reports a stall.
 func DefaultPipeline(model *rational.Model, copts CertifyOptions) *Pipeline {
 	copts.defaults()
 	n := 2 * model.NumPoles() * model.Ports()
 	if n <= copts.MaxDim {
-		return NewPipeline(TailBoundCertifier(), HamiltonianCertifier())
+		return NewPipeline(TailBoundCertifier(), HamiltonianCertifier(), CounterCertifier())
 	}
-	return NewPipeline(TailBoundCertifier(), LipschitzCertifier(), RestrictedHamiltonianCertifier(), ProbeCertifier())
+	return NewPipeline(TailBoundCertifier(), LipschitzCertifier(), RestrictedHamiltonianCertifier(), ProbeCertifier(), CounterCertifier())
 }
 
 // Certify runs the default certification pipeline over the whole frequency
@@ -246,6 +269,7 @@ func (p *Pipeline) Run(model *rational.Model, opts CheckOptions, copts CertifyOp
 			Kind:    ProgressCertStage,
 			Stage:   st.Name(),
 			Samples: cost.Samples,
+			Nodes:   cost.Nodes,
 		})
 		if cost.EigenDim > cert.EigenDim {
 			cert.EigenDim = cost.EigenDim

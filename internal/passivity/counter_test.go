@@ -1,0 +1,303 @@
+package passivity
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/rational"
+)
+
+// counterModelJSON is the golden-fixture encoding of a rational model:
+// complex numbers as [re, im] pairs, residue matrices flattened row-major.
+type counterModelJSON struct {
+	Poles    [][2]float64   `json:"poles"`
+	Residues [][][2]float64 `json:"residues"`
+	D        [][]float64    `json:"d"`
+}
+
+// loadModelFixture reads a rational model from a testdata JSON file.
+func loadModelFixture(t *testing.T, path string) *rational.Model {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read fixture: %v", err)
+	}
+	var mj counterModelJSON
+	if err := json.Unmarshal(b, &mj); err != nil {
+		t.Fatalf("decode fixture: %v", err)
+	}
+	poles := make([]complex128, len(mj.Poles))
+	for i, p := range mj.Poles {
+		poles[i] = complex(p[0], p[1])
+	}
+	ports := len(mj.D)
+	residues := make([]*mat.CMatrix, len(mj.Residues))
+	for k, flat := range mj.Residues {
+		r := mat.NewCMatrix(ports, ports)
+		for i := 0; i < ports; i++ {
+			for j := 0; j < ports; j++ {
+				v := flat[i*ports+j]
+				r.Set(i, j, complex(v[0], v[1]))
+			}
+		}
+		residues[k] = r
+	}
+	d := mat.NewMatrix(ports, ports)
+	for i, row := range mj.D {
+		for j, v := range row {
+			d.Set(i, j, v)
+		}
+	}
+	m, err := rational.New(poles, residues, d)
+	if err != nil {
+		t.Fatalf("fixture model invalid: %v", err)
+	}
+	return m
+}
+
+// levelEigs returns all eigenvalues of the model's level-γ Hamiltonian via
+// the dense solver — the oracle the counter is validated against.
+func levelEigs(t *testing.T, model *rational.Model, gamma float64) []complex128 {
+	t.Helper()
+	sys := model.Realization()
+	h, err := HamiltonianMatrixLevel(sys.A, sys.B, sys.C, sys.D, gamma)
+	if err != nil {
+		t.Fatalf("HamiltonianMatrixLevel: %v", err)
+	}
+	eigs, err := mat.EigenValues(h)
+	if err != nil {
+		t.Fatalf("EigenValues: %v", err)
+	}
+	return eigs
+}
+
+// rectCount counts eigenvalues strictly inside the rectangle the counter
+// actually walked for segment (lo, hi): half-width delta as reported by
+// LastDelta, bottom edge dipped below the axis for DC segments (mirroring
+// IntervalCounter.Count).
+func rectCount(eigs []complex128, lo, hi, delta float64) int {
+	imLo := lo
+	if lo == 0 {
+		imLo = -delta
+	}
+	n := 0
+	for _, z := range eigs {
+		if real(z) > -delta && real(z) < delta && imag(z) > imLo && imag(z) < hi {
+			n++
+		}
+	}
+	return n
+}
+
+// ambiguous reports whether some eigenvalue sits too close to the counted
+// rectangle's boundary for the dense-oracle comparison to be well-posed
+// (strictly-inside versus on-the-contour is then a coin flip between the
+// two solvers' rounding).
+func ambiguous(eigs []complex128, lo, hi, delta float64) bool {
+	imLo := lo
+	if lo == 0 {
+		imLo = -delta
+	}
+	margin := 1e-6 * (math.Abs(hi) + delta)
+	for _, z := range eigs {
+		re, im := math.Abs(real(z)), imag(z)
+		inBand := im > imLo-margin && im < hi+margin
+		if inBand && math.Abs(re-delta) < margin {
+			return true
+		}
+		if re < delta+margin && (math.Abs(im-imLo) < margin || math.Abs(im-hi) < margin) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCounterOracle cross-validates IntervalCounter against the dense
+// Hamiltonian eigensolve on ≥100 random synthetic models, passive and
+// non-passive: for every interval of a crossing-separated partition the
+// counter must report exactly the eigenvalues the dense solver places in
+// its rectangle, and a zero count must imply zero on-axis crossings.
+func TestCounterOracle(t *testing.T) {
+	const gamma = 1 + 1e-9
+	models, intervals, skipped := 0, 0, 0
+	for seed := int64(0); seed < 160; seed++ {
+		peak := 0.12 // passive: one crossing-free interval
+		if seed%2 == 0 {
+			peak = 0.45 // violating: several crossing-separated intervals
+		}
+		model, err := SyntheticModel(SyntheticOptions{Ports: 2, Poles: 8, Seed: 7000 + seed, PeakGain: peak})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		eigs := levelEigs(t, model, gamma)
+		ic, err := NewIntervalCounter(model, gamma)
+		if err != nil {
+			t.Fatalf("seed %d: NewIntervalCounter: %v", seed, err)
+		}
+		// Partition [0, bound] at midpoints between the on-axis crossings so
+		// interval edges stay clear of the eigenvalues.
+		var crossings []float64
+		scale := 0.0
+		for _, z := range eigs {
+			if a := math.Hypot(real(z), imag(z)); a > scale {
+				scale = a
+			}
+		}
+		tol := 1e-8 * (1 + scale)
+		for _, z := range eigs {
+			if math.Abs(real(z)) < tol && imag(z) > tol {
+				crossings = append(crossings, imag(z))
+			}
+		}
+		sortFloats(crossings)
+		edges := []float64{0}
+		for i := 0; i+1 < len(crossings); i++ {
+			edges = append(edges, math.Sqrt(crossings[i]*crossings[i+1]))
+		}
+		edges = append(edges, ic.OmegaBound()*1.000001)
+		models++
+		for i := 0; i+1 < len(edges); i++ {
+			lo, hi := edges[i], edges[i+1]
+			if hi-lo < 1e-9*hi {
+				continue
+			}
+			got, err := ic.Count(lo, hi)
+			if err != nil {
+				skipped++
+				continue
+			}
+			delta := ic.LastDelta()
+			if ambiguous(eigs, lo, hi, delta) {
+				skipped++
+				continue
+			}
+			want := rectCount(eigs, lo, hi, delta)
+			if got != want {
+				t.Fatalf("seed %d interval [%g, %g] δ=%g: counter %d, dense oracle %d", seed, lo, hi, delta, got, want)
+			}
+			// Soundness anchor: zero count ⇒ no on-axis crossing inside.
+			if got == 0 {
+				for _, w := range crossings {
+					if w > lo && w < hi {
+						t.Fatalf("seed %d: zero count on [%g, %g] but crossing at %g", seed, lo, hi, w)
+					}
+				}
+			}
+			intervals++
+		}
+	}
+	if models < 100 {
+		t.Fatalf("oracle corpus too small: %d models", models)
+	}
+	if intervals < 300 {
+		t.Fatalf("oracle compared only %d intervals (skipped %d)", intervals, skipped)
+	}
+	t.Logf("oracle: %d models, %d intervals agreed, %d skipped (boundary-ambiguous or stalled)", models, intervals, skipped)
+}
+
+// TestCounterRetiresProbeOpenInterval is the regression for the PR 4 gap:
+// on the checked-in golden model the probe pipeline (tail → lipschitz →
+// restricted → probe, with dimension caps forcing the large-model branch)
+// finishes with a non-empty Open set, and appending the counter stage
+// retires it — Certified with Open == nil.
+func TestCounterRetiresProbeOpenInterval(t *testing.T) {
+	model := loadModelFixture(t, "testdata/counter_regression.json")
+	copts := CertifyOptions{MaxDim: 2, RestrictedMaxDim: 2}
+
+	before, err := NewPipeline(TailBoundCertifier(), LipschitzCertifier(), RestrictedHamiltonianCertifier(), ProbeCertifier()).
+		Run(model, CheckOptions{}, copts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before.Violations) != 0 {
+		t.Fatalf("fixture model unexpectedly violating: %+v", before.Violations)
+	}
+	if len(before.Open) == 0 {
+		t.Fatal("fixture no longer reproduces the gap: probe pipeline left nothing open")
+	}
+	if before.Certified {
+		t.Fatal("probe pipeline claims certified with open intervals")
+	}
+
+	after, err := NewPipeline(TailBoundCertifier(), LipschitzCertifier(), RestrictedHamiltonianCertifier(), ProbeCertifier(), CounterCertifier()).
+		Run(model, CheckOptions{}, copts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.Certified || len(after.Open) != 0 {
+		t.Fatalf("counter did not retire the open set: certified=%v open=%v", after.Certified, after.Open)
+	}
+	if after.Stage != StageCounter {
+		t.Fatalf("verdict stage = %q, want %q", after.Stage, StageCounter)
+	}
+	last := after.Stages[len(after.Stages)-1]
+	if last.Stage != StageCounter || last.Certified != len(before.Open) {
+		t.Fatalf("counter stage cost %+v, want Certified=%d", last, len(before.Open))
+	}
+	if last.Nodes == 0 {
+		t.Fatal("counter stage recorded zero quadrature nodes")
+	}
+
+	// The default pipeline (with real dimension caps this model fits under)
+	// must also finish fully settled.
+	cert, err := Certify(model, CheckOptions{}, CertifyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cert.Certified || len(cert.Open) != 0 {
+		t.Fatalf("default pipeline: certified=%v open=%v", cert.Certified, cert.Open)
+	}
+}
+
+// TestCounterViolatingModel checks the other verdict: on a clearly
+// non-passive model the counter-terminated pipeline proves violations
+// rather than certifying.
+func TestCounterViolatingModel(t *testing.T) {
+	model, err := SyntheticModel(SyntheticOptions{Ports: 2, Poles: 10, Seed: 77, PeakGain: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Check(model, CheckOptions{Method: MethodHamiltonian})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Passive {
+		t.Skip("seed no longer produces a violating model")
+	}
+	copts := CertifyOptions{MaxDim: 2, RestrictedMaxDim: 2}
+	cert, err := NewPipeline(TailBoundCertifier(), CounterCertifier()).Run(model, CheckOptions{}, copts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Certified || len(cert.Violations) == 0 {
+		t.Fatalf("counter pipeline missed the violations: %+v", cert)
+	}
+	for _, v := range cert.Violations {
+		if v.SigmaPeak <= 1 {
+			t.Fatalf("violation with σ peak %g ≤ 1", v.SigmaPeak)
+		}
+	}
+}
+
+// TestCounterBudget checks that an exhausted node budget surfaces as a
+// stall (open interval downstream), not a wrong count.
+func TestCounterBudget(t *testing.T) {
+	model, err := SyntheticModel(SyntheticOptions{Ports: 2, Poles: 8, Seed: 5, PeakGain: 0.12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic, err := NewIntervalCounter(model, 1+1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic.Budget = 3 // far below one rectangle's minimum
+	if _, err := ic.Count(1, ic.OmegaBound()); err == nil {
+		t.Fatal("budget-starved count succeeded")
+	}
+	if ic.Nodes() > 3 {
+		t.Fatalf("budget overrun: %d nodes", ic.Nodes())
+	}
+}

@@ -35,6 +35,9 @@ type ProgressEvent struct {
 	Stage string
 	// Samples counts the σ(ω) evaluations the step spent.
 	Samples int
+	// Nodes counts contour-quadrature determinant evaluations
+	// (certificate-stage events from the counter stage).
+	Nodes int
 }
 
 // ProgressFunc receives progress events. A nil ProgressFunc disables

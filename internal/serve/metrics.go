@@ -50,6 +50,7 @@ type metrics struct {
 	stageSec    map[string]float64
 	stageEvents map[string]int64
 	sigmaTotal  int64
+	nodesTotal  int64
 
 	// cache holds the latest per-worker Session cache snapshot.
 	cache map[int]repro.SessionCacheStats
@@ -148,12 +149,13 @@ func (m *metrics) finished(kind JobKind, res *Result) {
 	m.serviceCount[k]++
 }
 
-func (m *metrics) stage(stage string, d time.Duration, samples int) {
+func (m *metrics) stage(stage string, d time.Duration, samples, nodes int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.stageSec[stage] += d.Seconds()
 	m.stageEvents[stage]++
 	m.sigmaTotal += int64(samples)
+	m.nodesTotal += int64(nodes)
 }
 
 func (m *metrics) cacheStats(worker int, st repro.SessionCacheStats) {
@@ -250,6 +252,7 @@ func (s *Server) writePrometheus(w io.Writer) {
 		fmt.Fprintf(w, "passivityd_stage_events_total{stage=%q} %d\n", k, m.stageEvents[k])
 	}
 	fmt.Fprintf(w, "# HELP passivityd_sigma_samples_total Sigma evaluations reported by progress events.\n# TYPE passivityd_sigma_samples_total counter\npassivityd_sigma_samples_total %d\n", m.sigmaTotal)
+	fmt.Fprintf(w, "# HELP passivityd_counter_nodes_total Contour-quadrature determinant evaluations reported by certificate-stage events.\n# TYPE passivityd_counter_nodes_total counter\npassivityd_counter_nodes_total %d\n", m.nodesTotal)
 
 	fmt.Fprintf(w, "# HELP passivityd_worker_cache_bytes Estimated resident evaluation-cache bytes per worker Session.\n# TYPE passivityd_worker_cache_bytes gauge\n")
 	workers := make([]int, 0, len(m.cache))

@@ -563,13 +563,21 @@ func (w *worker) run(j *Job) *Result {
 }
 
 // onProgress is the worker Session's progress sink: it charges the time
-// since the last event to the event's stage and counts the σ evaluations,
-// feeding the per-stage latency metrics.
+// since the last event to the event's stage and counts the σ evaluations
+// and contour-quadrature nodes, feeding the per-stage latency metrics.
+// Certificate-stage events are sub-labelled with the pipeline stage name
+// (e.g. "certificate-stage/contour-counter") so the cost of the terminal
+// counter stage is visible next to the cheaper certificate stages; check
+// and iteration events keep their bare kind label.
 func (w *worker) onProgress(ev repro.ProgressEvent) {
 	now := time.Now()
 	w.markMu.Lock()
 	delta := now.Sub(w.lastMark)
 	w.lastMark = now
 	w.markMu.Unlock()
-	w.srv.met.stage(string(ev.Kind), delta, ev.Samples)
+	label := string(ev.Kind)
+	if ev.Kind == repro.ProgressCertificateStage && ev.Stage != "" {
+		label += "/" + ev.Stage
+	}
+	w.srv.met.stage(label, delta, ev.Samples, ev.Nodes)
 }

@@ -35,14 +35,24 @@ type PassivityReport struct {
 
 // CertificateStage is the per-stage cost accounting of a certification
 // run: which pipeline stage ran, how many frequency intervals it certified
-// passive, the largest eigenproblem it solved (0 when it solved none) and
-// the direct σ evaluations it spent.
+// passive, the largest eigenproblem it solved (0 when it solved none), the
+// direct σ evaluations it spent and — for the terminal contour-counter
+// stage — the quadrature nodes (complex LU factorizations) it spent.
 type CertificateStage struct {
 	Stage      string
 	Certified  int
 	Violations int
 	EigenDim   int
 	Samples    int
+	Nodes      int
+	// Note carries non-fatal diagnostics (e.g. a quadrature that stalled).
+	Note string
+}
+
+// CertificateBand is one frequency band of a certificate, in Hz
+// (FreqHiHz is +Inf for the unbounded tail band).
+type CertificateBand struct {
+	FreqLoHz, FreqHiHz float64
 }
 
 // PassivityCertificate is the outcome of the staged certification
@@ -62,6 +72,11 @@ type PassivityCertificate struct {
 	// Intervals is the size of the initial axis partition.
 	Intervals int
 	Stages    []CertificateStage
+	// Open lists the frequency bands no stage could settle. With the
+	// terminal contour-counter stage in the default pipeline it is nil in
+	// practice; a non-nil Open pinpoints exactly where (and why, via the
+	// stage Notes) a certificate fell short of full axis coverage.
+	Open []CertificateBand
 }
 
 // CheckMethod selects the passivity detection algorithm. See the decision
@@ -159,6 +174,14 @@ func toPublicCertificate(c *passivity.Certificate) *PassivityCertificate {
 			Violations: s.Violations,
 			EigenDim:   s.EigenDim,
 			Samples:    s.Samples,
+			Nodes:      s.Nodes,
+			Note:       s.Note,
+		})
+	}
+	for _, iv := range c.Open {
+		out.Open = append(out.Open, CertificateBand{
+			FreqLoHz: iv.Lo / (2 * math.Pi),
+			FreqHiHz: iv.Hi / (2 * math.Pi),
 		})
 	}
 	return out

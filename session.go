@@ -54,6 +54,9 @@ type ProgressEvent struct {
 	Stage string
 	// Samples counts the σ(ω) evaluations the step spent.
 	Samples int
+	// Nodes counts contour-quadrature determinant evaluations
+	// (certificate-stage events from the terminal counter stage).
+	Nodes int
 }
 
 // DefaultSessionCacheBudget bounds the estimated bytes a Session keeps in
@@ -431,6 +434,7 @@ func (s *Session) progressFunc() passivity.ProgressFunc {
 			Passive:   ev.Passive,
 			Stage:     ev.Stage,
 			Samples:   ev.Samples,
+			Nodes:     ev.Nodes,
 		})
 	}
 }
