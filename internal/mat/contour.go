@@ -21,9 +21,11 @@ import (
 // change is provably the true one (|Δφ| below MaxStep ≪ π), and the whole
 // quadrature is accepted only when the resulting winding is within IntTol
 // of an integer at two refinement levels (MaxStep and MaxStep/2) that
-// agree. Each node costs one complex LU factorization of (zI − M); only
-// the determinant's argument (and its overflow-free log-magnitude) is
-// taken from the factors.
+// agree. Each node costs one determinant evaluation through the
+// evaluator's DetBackend — a full complex LU of (zI − M) on the dense
+// oracle path, an O(N·p²) determinant-lemma sweep on the structured path —
+// and only the determinant's argument (plus an overflow-free
+// log-magnitude) is taken from the factors.
 
 // ErrContourStall is returned when the contour quadrature cannot stabilize
 // to an integer within its node budget — the typical cause is an eigenvalue
@@ -71,33 +73,78 @@ func (o *ContourOptions) defaults() {
 }
 
 // ContourEvaluator counts eigenvalues of one real matrix inside
-// rectangular contours, reusing a single complex scratch factorization
-// buffer across calls. It is not safe for concurrent use.
+// rectangular contours, delegating the per-node determinant to a
+// DetBackend (the dense complex LU by default; a StructuredShifted kernel
+// for diagonal-plus-low-rank matrices). It is not safe for concurrent use.
 type ContourEvaluator struct {
-	m       *Matrix
-	scratch []complex128
-	// Nodes counts the determinant evaluations (complex LU factorizations)
-	// performed over the evaluator's lifetime.
+	b DetBackend
+	// Nodes counts the determinant evaluations performed over the
+	// evaluator's lifetime.
 	Nodes int
 }
 
-// NewContourEvaluator prepares an evaluator for the square matrix m (the
-// matrix is retained, not copied).
+// NewContourEvaluator prepares an evaluator for the square matrix m over
+// the dense LU backend (the matrix is retained, not copied).
 func NewContourEvaluator(m *Matrix) *ContourEvaluator {
-	if m.Rows != m.Cols {
-		panic("mat: NewContourEvaluator of non-square matrix")
-	}
-	n := m.Rows
-	return &ContourEvaluator{m: m, scratch: make([]complex128, n*n)}
+	return NewContourEvaluatorBackend(NewDenseShifted(m))
+}
+
+// NewContourEvaluatorBackend prepares an evaluator over an arbitrary
+// determinant backend.
+func NewContourEvaluatorBackend(b DetBackend) *ContourEvaluator {
+	return &ContourEvaluator{b: b}
 }
 
 // Dim returns the matrix dimension.
-func (e *ContourEvaluator) Dim() int { return e.m.Rows }
+func (e *ContourEvaluator) Dim() int { return e.b.Dim() }
+
+// EigenBound returns the backend's rigorous bound on the magnitude of
+// every eigenvalue of the matrix.
+func (e *ContourEvaluator) EigenBound() float64 { return e.b.EigenBound() }
+
+// DetPhase returns the principal argument of det(zI − M) in (−π, π].
+// ErrSingular reports that z is (numerically) an eigenvalue.
+func (e *ContourEvaluator) DetPhase(z complex128) (float64, error) {
+	p, _, err := e.detPhasePivot(z)
+	return p, err
+}
+
+// detPhasePivot counts the node and delegates to the backend; the second
+// result is the spectrum-proximity alarm (an upper bound on σ_min(zI − M)
+// that collapses as z approaches the spectrum). The quadrature uses it to
+// rule out aliasing: a contour chord longer than the endpoint's alarm
+// floor may hide an eigenvalue (and a full 2π of phase) between its nodes.
+func (e *ContourEvaluator) detPhasePivot(z complex128) (float64, float64, error) {
+	e.Nodes++
+	return e.b.DetPhasePivot(z)
+}
+
+// DenseShifted is the dense DetBackend: one in-place complex LU
+// factorization of zI − M per DetPhasePivot call, O(N³) time and O(N²)
+// scratch. It is the oracle the structured kernel is cross-validated
+// against. Not safe for concurrent use.
+type DenseShifted struct {
+	m       *Matrix
+	scratch []complex128
+}
+
+// NewDenseShifted prepares the dense backend for the square matrix m (the
+// matrix is retained, not copied).
+func NewDenseShifted(m *Matrix) *DenseShifted {
+	if m.Rows != m.Cols {
+		panic("mat: NewDenseShifted of non-square matrix")
+	}
+	n := m.Rows
+	return &DenseShifted{m: m, scratch: make([]complex128, n*n)}
+}
+
+// Dim returns the matrix dimension.
+func (e *DenseShifted) Dim() int { return e.m.Rows }
 
 // EigenBound returns a rigorous bound on the magnitude of every eigenvalue
 // of the matrix: min(‖M‖∞, ‖M‖₁) (both are induced norms, so every
 // eigenvalue satisfies |λ| ≤ ‖M‖).
-func (e *ContourEvaluator) EigenBound() float64 {
+func (e *DenseShifted) EigenBound() float64 {
 	n := e.m.Rows
 	colSum := make([]float64, n)
 	inf := 0.0
@@ -122,20 +169,12 @@ func (e *ContourEvaluator) EigenBound() float64 {
 	return math.Min(inf, one)
 }
 
-// DetPhase returns the principal argument of det(zI − M) in (−π, π] via an
-// in-place complex LU factorization with partial pivoting. ErrSingular
-// reports that z is (numerically) an eigenvalue.
-func (e *ContourEvaluator) DetPhase(z complex128) (float64, error) {
-	p, _, err := e.detPhasePivot(z)
-	return p, err
-}
-
-// detPhasePivot additionally returns the smallest pivot magnitude of the
-// factorization — an upper bound on σ_min(zI − M) that tracks the distance
-// from z to the spectrum. The quadrature uses it as a proximity alarm:
-// a contour chord longer than the endpoint's pivot floor may hide an
-// eigenvalue (and a full 2π of phase) between its nodes.
-func (e *ContourEvaluator) detPhasePivot(z complex128) (float64, float64, error) {
+// DetPhasePivot returns the principal argument of det(zI − M) in (−π, π]
+// via an in-place complex LU factorization with partial pivoting, plus the
+// smallest pivot magnitude — an upper bound on σ_min(zI − M) that tracks
+// the distance from z to the spectrum. ErrSingular reports that z is
+// (numerically) an eigenvalue.
+func (e *DenseShifted) DetPhasePivot(z complex128) (float64, float64, error) {
 	n := e.m.Rows
 	a := e.scratch
 	for i := 0; i < n; i++ {
@@ -146,7 +185,6 @@ func (e *ContourEvaluator) detPhasePivot(z complex128) (float64, float64, error)
 		}
 		a[base+i] += z
 	}
-	e.Nodes++
 	phase := 0.0
 	logAbs := 0.0
 	minPiv := math.Inf(1)

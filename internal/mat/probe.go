@@ -33,7 +33,8 @@ import (
 // should be confirmed against the underlying transfer function. The probe
 // is not safe for concurrent use.
 type ImagEigenProbe struct {
-	m2 *Matrix
+	m2 *Matrix            // dense path: M², one LU per query
+	s2 *StructuredShifted // structured path: factored M², Woodbury per query
 }
 
 // NewImagEigenProbe forms M² for the given square matrix (the only full
@@ -48,8 +49,22 @@ func NewImagEigenProbe(m *Matrix) *ImagEigenProbe {
 	return &ImagEigenProbe{m2: m2}
 }
 
+// NewStructuredImagEigenProbe builds the probe over a factored
+// diagonal-plus-low-rank M: M² stays factored (StructuredShifted.Square,
+// O(N·p²) once), and each frequency query costs one real-arithmetic
+// Woodbury factorization plus the short Arnoldi recurrence — O(N·p²)
+// instead of the dense path's O(N³)/O(N²) setup/solve.
+func NewStructuredImagEigenProbe(s *StructuredShifted) *ImagEigenProbe {
+	return &ImagEigenProbe{s2: s.Square()}
+}
+
 // Dim returns the probe's matrix dimension N.
-func (p *ImagEigenProbe) Dim() int { return p.m2.Rows }
+func (p *ImagEigenProbe) Dim() int {
+	if p.m2 != nil {
+		return p.m2.Rows
+	}
+	return p.s2.Dim()
+}
 
 // probeMaxCandidates bounds the candidates one query returns (the caller
 // pays a transfer-function confirmation per candidate).
@@ -63,7 +78,7 @@ const probeMaxCandidates = 4
 // extracted from an unconverged subspace, so callers MUST confirm each
 // one independently (for the certifier: by sampling σ around ω̂).
 func (p *ImagEigenProbe) Candidates(omega float64, k int) ([]float64, error) {
-	n := p.m2.Rows
+	n := p.Dim()
 	if k <= 0 {
 		k = 12
 	}
@@ -71,14 +86,31 @@ func (p *ImagEigenProbe) Candidates(omega float64, k int) ([]float64, error) {
 		k = n
 	}
 	shift := -omega * omega
-	a := p.m2.Clone()
-	for i := 0; i < n; i++ {
-		a.Data[i*n+i] -= shift
-	}
-	lu, err := LUFactor(a)
-	if err != nil {
-		// Singular shift: −ω² is (numerically) an eigenvalue of M² itself.
-		return []float64{omega}, nil
+	var solve func([]float64) []float64
+	if p.m2 != nil {
+		a := p.m2.Clone()
+		for i := 0; i < n; i++ {
+			a.Data[i*n+i] -= shift
+		}
+		lu, err := LUFactor(a)
+		if err != nil {
+			// Singular shift: −ω² is (numerically) an eigenvalue of M² itself.
+			return []float64{omega}, nil
+		}
+		solve = lu.SolveVec
+	} else {
+		// (M² − shift·I)⁻¹ = −(shift·I − M²)⁻¹ via the real Woodbury solver.
+		rs, err := p.s2.RealShiftSolver(shift)
+		if err != nil {
+			return []float64{omega}, nil
+		}
+		solve = func(b []float64) []float64 {
+			x := rs.SolveVec(b)
+			for i := range x {
+				x[i] = -x[i]
+			}
+			return x
+		}
 	}
 	// Arnoldi on (M² − shift·I)⁻¹ with modified Gram–Schmidt.
 	v := make([][]float64, 1, k+1)
@@ -90,7 +122,7 @@ func (p *ImagEigenProbe) Candidates(omega float64, k int) ([]float64, error) {
 	h := NewMatrix(k+1, k)
 	steps := 0
 	for j := 0; j < k; j++ {
-		w := lu.SolveVec(v[j])
+		w := solve(v[j])
 		for i := 0; i <= j; i++ {
 			hij := dot(v[i], w)
 			h.Set(i, j, hij)

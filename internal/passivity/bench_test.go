@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"testing"
 
+	"repro/internal/mat"
 	"repro/internal/rational"
 )
 
@@ -140,6 +141,102 @@ func BenchmarkEnforceBatch(b *testing.B) {
 				})
 				if rep.Stats.Failed != 0 || rep.Stats.Passive != len(lib) {
 					b.Fatalf("batch enforcement failed: %+v", rep.Stats)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCounterLargeN measures the contour counter's full Count of a
+// crossing-free segment on truly passive models at Hamiltonian dimensions
+// N = 600, 2000 and 6000 — the workload the structured diagonal-plus-
+// low-rank kernel exists for. The dense complex-LU backend prices one node
+// at O(N³), so it only runs where that is affordable (N = 600 always,
+// N = 2000 outside -short, never at 6000); the structured backend runs
+// everywhere. Both backends must return count 0 — the structured/dense
+// wall-clock ratio at equal N is the PR 9 acceptance number.
+func BenchmarkCounterLargeN(b *testing.B) {
+	for _, np := range []int{150, 500, 1500} { // N = 2·poles·ports = 4·poles
+		for _, backend := range []string{BackendStructured, BackendDense} {
+			n := 4 * np
+			b.Run(fmt.Sprintf("N=%d/%s", n, backend), func(b *testing.B) {
+				if backend == BackendDense {
+					if n > 2000 {
+						b.Skipf("dense Count at N=%d is O(N³) per node — infeasible", n)
+					}
+					if n > 600 && testing.Short() {
+						b.Skipf("dense Count at N=%d skipped in -short runs", n)
+					}
+				}
+				m, err := SyntheticModel(SyntheticOptions{Ports: 2, Poles: np, Seed: 17, PeakGain: 0.08, DSigma: 0.75})
+				if err != nil {
+					b.Fatal(err)
+				}
+				build := NewIntervalCounter
+				if backend == BackendDense {
+					build = NewIntervalCounterDense
+				}
+				ic, err := build(m, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				// A segment above the resonance band (pole resonances sit below
+				// 1e4 rad/s ≈ 0.25·bound at N=600, lower fractions beyond):
+				// the count is provably zero — the gap-certification workload
+				// the counter spends almost all its certification nodes on.
+				lo := ic.OmegaBound() * 0.30
+				hi := ic.OmegaBound() * 0.31
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					cnt, err := ic.Count(lo, hi)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if cnt != 0 {
+						b.Fatalf("passive model: count %d on [%g, %g]", cnt, lo, hi)
+					}
+				}
+				b.ReportMetric(float64(ic.Nodes())/float64(b.N), "nodes/op")
+			})
+		}
+	}
+}
+
+// BenchmarkCounterNode isolates the per-node determinant cost the counter
+// pays: one DetPhasePivot evaluation of the shifted level-1 Hamiltonian at
+// a fixed off-spectrum point, structured vs dense, N = 600 and 2000.
+func BenchmarkCounterNode(b *testing.B) {
+	for _, np := range []int{150, 500} {
+		n := 4 * np
+		m, err := SyntheticModel(SyntheticOptions{Ports: 2, Poles: np, Seed: 17, PeakGain: 0.08, DSigma: 0.75})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := HamiltonianFactorsLevel(m, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		z := complex(0.1*s.EigenBound(), 0.07*s.EigenBound())
+		b.Run(fmt.Sprintf("N=%d/structured", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				// Perturb z per iteration so the factor cache never hits.
+				if _, _, err := s.DetPhasePivot(z + complex(float64(i%7)*1e-9, 0)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("N=%d/dense", n), func(b *testing.B) {
+			if n > 600 && testing.Short() {
+				b.Skipf("dense DetPhasePivot at N=%d skipped in -short runs", n)
+			}
+			d := mat.NewDenseShifted(s.Materialize())
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := d.DetPhasePivot(z + complex(float64(i%7)*1e-9, 0)); err != nil {
+					b.Fatal(err)
 				}
 			}
 		})

@@ -58,6 +58,9 @@ type StageCost struct {
 	EigenDim   int    // largest eigenproblem dimension solved (0 = none)
 	Samples    int    // direct σ(ω) evaluations spent (peak polishing excluded)
 	Nodes      int    // contour-quadrature determinant evaluations (counter stage)
+	Backend    string // kernel backend the stage ran (or declined) on: BackendStructured/BackendDense ("" = no kernel involved)
+	DimGate    int    // effective dimension gate the stage enforced (0 = ungated)
+	Declined   int    // open intervals the stage declined at its dimension gate
 	Note       string // non-fatal diagnostics (e.g. an eigensolve that bailed)
 }
 
@@ -83,13 +86,18 @@ type Certificate struct {
 type CertifyOptions struct {
 	// MaxDim is the largest Hamiltonian dimension N = 2·n·P certified by
 	// the full eigentest (default 600). Beyond it the pipeline switches to
-	// restricted-band certification.
+	// restricted-band certification. The gate deliberately stays at the
+	// dense-QR frontier: the full eigentest needs the complete spectrum,
+	// which the structured determinant/solve kernels do not accelerate —
+	// the counter and probe gates are the ones they lift.
 	MaxDim int
 	// RestrictedMaxDim caps the per-interval reduced eigenproblem dimension
 	// 2·n_near·P (default 1200).
 	RestrictedMaxDim int
 	// ProbeMaxDim caps the targeted-probe stage's matrix dimension
-	// (default 6000). Intervals left open beyond it stay uncertified.
+	// (default 60000: the structured shift-and-invert path costs O(N·p²)
+	// per query; 6000 was the dense-LU ceiling). Intervals left open beyond
+	// it stay uncertified.
 	ProbeMaxDim int
 	// TailMaxIntervals bounds the tail-bound stage's subdivision work
 	// (default 4096 interval evaluations).
@@ -101,18 +109,29 @@ type CertifyOptions struct {
 	// SweepMaxSamples caps the σ evaluations of the Lipschitz certified
 	// sweep (default 20000; they route through the run's EvalCache).
 	SweepMaxSamples int
-	// CounterMaxNodes caps the determinant evaluations (complex LU
-	// factorizations of the level-γ Hamiltonian resolvent) the terminal
-	// contour-counter stage spends per certification run (default 50000).
-	// Intervals whose quadrature exhausts the budget stay open with a Note.
+	// CounterMaxNodes caps the determinant evaluations the terminal
+	// contour-counter stage spends per certification run (default 250000).
+	// One node is an O(N·p²) structured factorization — cheap enough that
+	// the sharper structured proximity alarm, which bisects harder near
+	// eigenvalue clusters than the dense LU min-pivot did, is worth paying
+	// for (the old dense-LU default was 50000). Intervals whose quadrature
+	// exhausts the budget stay open with a Note.
 	CounterMaxNodes int
 	// CounterMaxDim caps the Hamiltonian dimension N = 2·n·P the counter
-	// stage will walk contours around (default 600, matching MaxDim). Each
-	// quadrature node is one O(N³) complex LU, so beyond the dense-eigentest
-	// frontier the counter is no cheaper than the oracle it replaces;
-	// larger models keep their unsettled intervals open with a Note (the
-	// ROADMAP's symplectic large-N eigensolver is the planned escalation).
+	// stage will walk contours around (default 6000). The structured
+	// diagonal-plus-low-rank kernel prices one quadrature node at O(N·p²)
+	// with p = 2·ports — the dense O(N³) complex LU that pinned the old
+	// default at 600 survives only behind ForceDenseKernels — so the gate
+	// now tracks node affordability, not factorization cost. Larger models
+	// keep their unsettled intervals open with a Note and a Declined count.
 	CounterMaxDim int
+	// ForceDenseKernels routes the counter and probe stages through the
+	// dense O(N³) kernels even when structured factors are available. It is
+	// a debugging/oracle knob — the dense path is the reference the
+	// structured kernels are cross-validated against — and its users own
+	// the cost: the dimension gates are NOT lowered to dense-affordable
+	// values automatically.
+	ForceDenseKernels bool
 }
 
 func (o *CertifyOptions) defaults() {
@@ -123,7 +142,7 @@ func (o *CertifyOptions) defaults() {
 		o.RestrictedMaxDim = 1200
 	}
 	if o.ProbeMaxDim <= 0 {
-		o.ProbeMaxDim = 6000
+		o.ProbeMaxDim = 60000
 	}
 	if o.TailMaxIntervals <= 0 {
 		o.TailMaxIntervals = 4096
@@ -135,10 +154,10 @@ func (o *CertifyOptions) defaults() {
 		o.SweepMaxSamples = 20000
 	}
 	if o.CounterMaxNodes <= 0 {
-		o.CounterMaxNodes = 50000
+		o.CounterMaxNodes = 250000
 	}
 	if o.CounterMaxDim <= 0 {
-		o.CounterMaxDim = 600
+		o.CounterMaxDim = 6000
 	}
 }
 
@@ -266,10 +285,12 @@ func (p *Pipeline) Run(model *rational.Model, opts CheckOptions, copts CertifyOp
 		}
 		cert.Stages = append(cert.Stages, cost)
 		opts.emit(ProgressEvent{
-			Kind:    ProgressCertStage,
-			Stage:   st.Name(),
-			Samples: cost.Samples,
-			Nodes:   cost.Nodes,
+			Kind:     ProgressCertStage,
+			Stage:    st.Name(),
+			Samples:  cost.Samples,
+			Nodes:    cost.Nodes,
+			Backend:  cost.Backend,
+			Declined: cost.Declined,
 		})
 		if cost.EigenDim > cert.EigenDim {
 			cert.EigenDim = cost.EigenDim
@@ -711,7 +732,7 @@ type fullStage struct{}
 func (fullStage) Name() string { return StageHamiltonian }
 
 func (fullStage) certify(cc *certContext, open []CertInterval) ([]CertInterval, []Violation, StageCost, error) {
-	cost := StageCost{Stage: StageHamiltonian, EigenDim: 2 * cc.model.NumPoles() * cc.model.Ports()}
+	cost := StageCost{Stage: StageHamiltonian, EigenDim: 2 * cc.model.NumPoles() * cc.model.Ports(), Backend: BackendDense, DimGate: cc.copts.MaxDim}
 	crossings, err := HamiltonianCrossings(cc.model)
 	if err != nil {
 		// Numerical failure: pass the intervals on instead of aborting the
@@ -755,7 +776,7 @@ type restrictedStage struct{}
 func (restrictedStage) Name() string { return StageRestricted }
 
 func (restrictedStage) certify(cc *certContext, open []CertInterval) ([]CertInterval, []Violation, StageCost, error) {
-	cost := StageCost{Stage: StageRestricted}
+	cost := StageCost{Stage: StageRestricted, Backend: BackendDense, DimGate: cc.copts.RestrictedMaxDim}
 	var rem []CertInterval
 	var viols []Violation
 	for _, iv := range open {
@@ -957,19 +978,37 @@ type probeStage struct{}
 func (probeStage) Name() string { return StageProbe }
 
 func (probeStage) certify(cc *certContext, open []CertInterval) ([]CertInterval, []Violation, StageCost, error) {
-	cost := StageCost{Stage: StageProbe, Note: "best-effort: a miss does not certify"}
-	n := 2 * cc.model.NumPoles() * cc.model.Ports()
-	if n > cc.copts.ProbeMaxDim || len(open) == 0 {
+	cost := StageCost{Stage: StageProbe, DimGate: cc.copts.ProbeMaxDim, Note: "best-effort: a miss does not certify"}
+	if len(open) == 0 {
 		return open, nil, cost, nil
 	}
-	sys := cc.model.Realization()
-	h, err := HamiltonianMatrix(sys.A, sys.B, sys.C, sys.D)
-	if err != nil {
-		cost.Note = err.Error()
+	n := 2 * cc.model.NumPoles() * cc.model.Ports()
+	cost.Backend = BackendStructured
+	if cc.copts.ForceDenseKernels {
+		cost.Backend = BackendDense
+	}
+	if n > cc.copts.ProbeMaxDim {
+		cost.Declined = len(open)
 		return open, nil, cost, nil
+	}
+	var probe *mat.ImagEigenProbe
+	if cc.copts.ForceDenseKernels {
+		sys := cc.model.Realization()
+		h, err := HamiltonianMatrix(sys.A, sys.B, sys.C, sys.D)
+		if err != nil {
+			cost.Note = err.Error()
+			return open, nil, cost, nil
+		}
+		probe = mat.NewImagEigenProbe(h)
+	} else {
+		s, err := HamiltonianFactorsLevel(cc.model, 1)
+		if err != nil {
+			cost.Note = err.Error()
+			return open, nil, cost, nil
+		}
+		probe = mat.NewStructuredImagEigenProbe(s)
 	}
 	cost.EigenDim = n
-	probe := mat.NewImagEigenProbe(h)
 	var viols []Violation
 	var confirmed []float64
 	// probeMaxTargets is a GLOBAL cap on shift-and-invert solves — each is

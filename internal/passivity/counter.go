@@ -25,6 +25,15 @@ import (
 // StageCounter names the contour-integral counter stage in certificates.
 const StageCounter = "contour-counter"
 
+// Kernel backend names recorded in StageCost.Backend and progress events.
+const (
+	// BackendStructured is the diagonal-plus-low-rank determinant/solve
+	// kernel (mat.StructuredShifted): O(N·p²) per contour node.
+	BackendStructured = "structured"
+	// BackendDense is the dense kernel (complex LU / Francis QR): O(N³).
+	BackendDense = "dense"
+)
+
 // counterCluster is one floor-width segment of the jω axis that still
 // holds a nonzero eigenvalue count after bisection — a candidate crossing
 // (or tight cluster of crossings) of σ(S(jω)) through the level γ.
@@ -40,34 +49,65 @@ type counterCluster struct {
 // segment. Not safe for concurrent use.
 type IntervalCounter struct {
 	ev        *mat.ContourEvaluator
+	backend   string
 	gamma     float64
 	bound     float64
 	lastDelta float64
 	// RectNodes caps the determinant evaluations of one rectangle count
-	// (default 4096); Budget caps them over the counter's lifetime
+	// (default max(4096, 2·N) — the quadrature's aliasing guard tightens
+	// chords proportionally to N, so large-N contours legitimately spend
+	// more nodes); Budget caps them over the counter's lifetime
 	// (0 = unlimited). Exceeding either returns mat.ErrContourStall.
 	RectNodes int
 	Budget    int
 }
 
-// NewIntervalCounter builds the level-γ Hamiltonian of the model and
-// prepares the contour evaluator. It fails when γ is a singular value of D
-// (the pencil is undefined there — nudge γ).
+// rectNodesFor is the default per-rectangle node cap for dimension N.
+func rectNodesFor(dim int) int {
+	if n := 2 * dim; n > 4096 {
+		return n
+	}
+	return 4096
+}
+
+// NewIntervalCounter builds the level-γ Hamiltonian of the model in
+// factored diagonal-plus-low-rank form (HamiltonianFactorsLevel) and
+// prepares the contour evaluator over the structured O(N·p²) determinant
+// kernel. It fails when γ is a singular value of D (the pencil is
+// undefined there — nudge γ).
 func NewIntervalCounter(model *rational.Model, gamma float64) (*IntervalCounter, error) {
+	s, err := HamiltonianFactorsLevel(model, gamma)
+	if err != nil {
+		return nil, err
+	}
+	ev := mat.NewContourEvaluatorBackend(s)
+	return &IntervalCounter{ev: ev, backend: BackendStructured, gamma: gamma, bound: ev.EigenBound(), RectNodes: rectNodesFor(ev.Dim())}, nil
+}
+
+// NewIntervalCounterDense builds the counter over the materialized
+// Hamiltonian and the dense complex-LU determinant kernel — O(N³) per
+// contour node. It is the oracle the structured kernel is cross-validated
+// against (and a debugging escape hatch via
+// CertifyOptions.ForceDenseKernels); NewIntervalCounter is the production
+// path.
+func NewIntervalCounterDense(model *rational.Model, gamma float64) (*IntervalCounter, error) {
 	sys := model.Realization()
 	h, err := HamiltonianMatrixLevel(sys.A, sys.B, sys.C, sys.D, gamma)
 	if err != nil {
 		return nil, err
 	}
 	ev := mat.NewContourEvaluator(h)
-	return &IntervalCounter{ev: ev, gamma: gamma, bound: ev.EigenBound(), RectNodes: 4096}, nil
+	return &IntervalCounter{ev: ev, backend: BackendDense, gamma: gamma, bound: ev.EigenBound(), RectNodes: rectNodesFor(ev.Dim())}, nil
 }
 
 // Dim returns the Hamiltonian dimension 2·n·P.
 func (ic *IntervalCounter) Dim() int { return ic.ev.Dim() }
 
-// Nodes returns the determinant evaluations (complex LU factorizations)
-// spent so far.
+// Backend reports which determinant kernel the counter walks contours
+// with: BackendStructured or BackendDense.
+func (ic *IntervalCounter) Backend() string { return ic.backend }
+
+// Nodes returns the determinant evaluations spent so far.
 func (ic *IntervalCounter) Nodes() int { return ic.ev.Nodes }
 
 // OmegaBound returns a rigorous upper bound on every crossing frequency:
@@ -194,21 +234,33 @@ type counterStage struct{}
 func (counterStage) Name() string { return StageCounter }
 
 func (counterStage) certify(cc *certContext, open []CertInterval) ([]CertInterval, []Violation, StageCost, error) {
-	cost := StageCost{Stage: StageCounter}
+	cost := StageCost{Stage: StageCounter, DimGate: cc.copts.CounterMaxDim}
 	if len(open) == 0 {
 		// Nothing left to settle: skip building the Hamiltonian entirely —
 		// the terminal stage must be free on the steady-state path where the
 		// earlier certificates already covered the axis.
 		return nil, nil, cost, nil
 	}
+	backend := BackendStructured
+	if cc.copts.ForceDenseKernels {
+		backend = BackendDense
+	}
+	cost.Backend = backend
 	if dim := 2 * len(cc.model.Poles) * cc.model.D.Rows; dim > cc.copts.CounterMaxDim {
-		// One quadrature node costs an O(N³) complex LU; past the configured
-		// frontier the counter would be slower than the eigentest it backs
-		// up. Decline honestly instead of stalling for minutes.
+		// Each quadrature node costs O(N·p²) on the structured kernel (O(N³)
+		// when dense kernels are forced); past the configured frontier the
+		// node budget would dominate the run. Decline honestly instead of
+		// stalling, and count the declined intervals so the gate is visible
+		// in metrics, not just in this note.
 		cost.Note = fmt.Sprintf("counter declined: Hamiltonian dim %d exceeds CounterMaxDim %d", dim, cc.copts.CounterMaxDim)
+		cost.Declined = len(open)
 		return open, nil, cost, nil
 	}
-	ic, err := NewIntervalCounter(cc.model, cc.limit)
+	build := NewIntervalCounter
+	if backend == BackendDense {
+		build = NewIntervalCounterDense
+	}
+	ic, err := build(cc.model, cc.limit)
 	if err != nil {
 		// γ collides with a singular value of D; leave the intervals open
 		// rather than abort a best-effort pipeline tail.

@@ -115,14 +115,16 @@ func ambiguous(eigs []complex128, lo, hi, delta float64) bool {
 	return false
 }
 
-// TestCounterOracle cross-validates IntervalCounter against the dense
-// Hamiltonian eigensolve on ≥100 random synthetic models, passive and
-// non-passive: for every interval of a crossing-separated partition the
-// counter must report exactly the eigenvalues the dense solver places in
-// its rectangle, and a zero count must imply zero on-axis crossings.
+// TestCounterOracle cross-validates IntervalCounter (structured backend)
+// against the dense Hamiltonian eigensolve on ≥100 random synthetic models,
+// passive and non-passive: for every interval of a crossing-separated
+// partition the counter must report exactly the eigenvalues the dense
+// solver places in its rectangle, a zero count must imply zero on-axis
+// crossings, and on a sampled subset the dense-LU counter backend must
+// return the identical integer over the identical rectangle.
 func TestCounterOracle(t *testing.T) {
 	const gamma = 1 + 1e-9
-	models, intervals, skipped := 0, 0, 0
+	models, intervals, skipped, crossChecked := 0, 0, 0, 0
 	for seed := int64(0); seed < 160; seed++ {
 		peak := 0.12 // passive: one crossing-free interval
 		if seed%2 == 0 {
@@ -136,6 +138,15 @@ func TestCounterOracle(t *testing.T) {
 		ic, err := NewIntervalCounter(model, gamma)
 		if err != nil {
 			t.Fatalf("seed %d: NewIntervalCounter: %v", seed, err)
+		}
+		if ic.Backend() != BackendStructured {
+			t.Fatalf("seed %d: NewIntervalCounter backend %q, want %q", seed, ic.Backend(), BackendStructured)
+		}
+		var icd *IntervalCounter
+		if seed%8 == 0 { // dense cross-check on a sampled subset (O(N³)/node)
+			if icd, err = NewIntervalCounterDense(model, gamma); err != nil {
+				t.Fatalf("seed %d: NewIntervalCounterDense: %v", seed, err)
+			}
 		}
 		// Partition [0, bound] at midpoints between the on-axis crossings so
 		// interval edges stay clear of the eigenvalues.
@@ -178,6 +189,14 @@ func TestCounterOracle(t *testing.T) {
 			if got != want {
 				t.Fatalf("seed %d interval [%g, %g] δ=%g: counter %d, dense oracle %d", seed, lo, hi, delta, got, want)
 			}
+			if icd != nil {
+				if gotD, err := icd.Count(lo, hi); err == nil && !ambiguous(eigs, lo, hi, icd.LastDelta()) {
+					if wantD := rectCount(eigs, lo, hi, icd.LastDelta()); gotD != wantD {
+						t.Fatalf("seed %d interval [%g, %g]: dense backend %d, eigensolve %d", seed, lo, hi, gotD, wantD)
+					}
+					crossChecked++
+				}
+			}
 			// Soundness anchor: zero count ⇒ no on-axis crossing inside.
 			if got == 0 {
 				for _, w := range crossings {
@@ -195,7 +214,10 @@ func TestCounterOracle(t *testing.T) {
 	if intervals < 300 {
 		t.Fatalf("oracle compared only %d intervals (skipped %d)", intervals, skipped)
 	}
-	t.Logf("oracle: %d models, %d intervals agreed, %d skipped (boundary-ambiguous or stalled)", models, intervals, skipped)
+	if crossChecked < 20 {
+		t.Fatalf("dense-backend cross-check covered only %d intervals", crossChecked)
+	}
+	t.Logf("oracle: %d models, %d intervals agreed (%d dense cross-checks), %d skipped (boundary-ambiguous or stalled)", models, intervals, crossChecked, skipped)
 }
 
 // TestCounterRetiresProbeOpenInterval is the regression for the PR 4 gap:

@@ -72,6 +72,103 @@ func HamiltonianMatrixLevel(a, b, c, d *mat.Matrix, gamma float64) (*mat.Matrix,
 	return m, nil
 }
 
+// HamiltonianFactorsLevel builds the level-γ Hamiltonian of a pole-residue
+// model in the factored diagonal-plus-low-rank form M_γ = Λ + U·Vᵀ
+// (mat.StructuredShifted), never materializing the dense 2nP×2nP matrix:
+//
+//	Λ  = blkdiag(A, −Aᵀ)            block-diagonal in the poles (A = I_P⊗A₁)
+//	U  = | B   0  |                 2nP×2P
+//	     | 0   Cᵀ |
+//	Vᵀ = | −R⁻¹·Dᵀ·C    −R⁻¹·Bᵀ   |  2P×2nP, R = DᵀD−γ²I, Q = DDᵀ−γ²I
+//	     | γ²·Q⁻¹·C      D·R⁻¹·Bᵀ |
+//
+// Every correction block of the Bruinsma–Steinbuch pencil factors through
+// B or Cᵀ, so the rank is p = 2·P ≪ N and the structured contour/probe
+// kernels run in O(N·p²) per node instead of the dense O(N³). Memory is
+// O(N·p). Like HamiltonianMatrixLevel it fails when γ is a singular value
+// of D.
+func HamiltonianFactorsLevel(model *rational.Model, gamma float64) (*mat.StructuredShifted, error) {
+	n := model.NumPoles()
+	np := model.Ports()
+	half := n * np
+	g2 := gamma * gamma
+	d := model.D
+	r := d.T().Mul(d)
+	q := d.Mul(d.T())
+	for i := 0; i < np; i++ {
+		r.Set(i, i, r.At(i, i)-g2)
+		q.Set(i, i, q.At(i, i)-g2)
+	}
+	rInv, err := mat.Inverse(r)
+	if err != nil {
+		return nil, fmt.Errorf("passivity: DᵀD−γ²I singular (σ(D)=γ=%g): %w", gamma, err)
+	}
+	qInv, err := mat.Inverse(q)
+	if err != nil {
+		return nil, fmt.Errorf("passivity: DDᵀ−γ²I singular (σ(D)=γ=%g): %w", gamma, err)
+	}
+	// Λ: P copies of A₁'s blocks, then P copies of −A₁ᵀ's. A pair block
+	// [[α, β], [−β, α]] transposes and negates to [[−α, β], [−β, −α]] — the
+	// skew entry keeps its sign in the [[d₁, e], [−e, d₂]] encoding.
+	diag := make([]float64, 2*half)
+	skew := make([]float64, 2*half)
+	for j := 0; j < np; j++ {
+		base := j * n
+		for k := 0; k < n; {
+			p := model.Poles[k]
+			if imag(p) == 0 {
+				diag[base+k] = real(p)
+				diag[half+base+k] = -real(p)
+				k++
+				continue
+			}
+			al, be := real(p), imag(p)
+			diag[base+k], diag[base+k+1] = al, al
+			skew[base+k] = be
+			diag[half+base+k], diag[half+base+k+1] = -al, -al
+			skew[half+base+k] = be
+			k += 2
+		}
+	}
+	_, b1 := rational.BasisFromPoles(model.Poles)
+	cvs := make([][]float64, np*np) // cvs[i*P+j] = CVector(i,j): C[i][j·n+k]
+	for i := 0; i < np; i++ {
+		for j := 0; j < np; j++ {
+			cvs[i*np+j] = model.CVector(i, j)
+		}
+	}
+	drInv := d.Mul(rInv)      // D·R⁻¹
+	rInvDt := rInv.Mul(d.T()) // R⁻¹·Dᵀ
+	u := mat.NewMatrix(2*half, 2*np)
+	v := mat.NewMatrix(2*half, 2*np)
+	for j := 0; j < np; j++ {
+		for k := 0; k < n; k++ {
+			row := j*n + k
+			ut, ub := u.Row(row), u.Row(half+row)
+			vt, vb := v.Row(row), v.Row(half+row)
+			ut[j] = b1[k] // B = I_P⊗b₁
+			for i := 0; i < np; i++ {
+				ub[np+i] = cvs[i*np+j][k] // Cᵀ
+			}
+			for m := 0; m < np; m++ {
+				// V top half: −Cᵀ·(D·R⁻¹) and γ²·Cᵀ·Q⁻¹ (R, Q symmetric).
+				var a, b float64
+				for i := 0; i < np; i++ {
+					ci := cvs[i*np+j][k]
+					a -= ci * drInv.At(i, m)
+					b += ci * qInv.At(i, m)
+				}
+				vt[m] = a
+				vt[np+m] = g2 * b
+				// V bottom half: −B·R⁻¹ and B·(R⁻¹·Dᵀ).
+				vb[m] = -b1[k] * rInv.At(j, m)
+				vb[np+m] = b1[k] * rInvDt.At(j, m)
+			}
+		}
+	}
+	return mat.NewStructuredShifted(diag, skew, u, v), nil
+}
+
 // HamiltonianCrossings returns the frequencies ω ≥ 0 (rad/s) at which some
 // singular value of the model's scattering matrix crosses 1, found as the
 // imaginary eigenvalues of the Hamiltonian matrix. An empty result together

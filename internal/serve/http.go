@@ -168,9 +168,17 @@ func (s *Server) Handler() http.Handler {
 
 // writeJSON emits one JSON response with the given status.
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	// Marshal before touching the header: an encoding failure after
+	// WriteHeader(200) would truncate the body mid-stream and surface at
+	// the client as an opaque EOF instead of an error it can report.
+	body, err := json.Marshal(v)
+	if err != nil {
+		body, _ = json.Marshal(Response{Error: "encoding response: " + err.Error()})
+		status = http.StatusInternalServerError
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
+	w.Write(append(body, '\n'))
 }
 
 // handleJob decodes a Request, submits it and waits for the Result.

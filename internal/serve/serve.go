@@ -579,5 +579,5 @@ func (w *worker) onProgress(ev repro.ProgressEvent) {
 	if ev.Kind == repro.ProgressCertificateStage && ev.Stage != "" {
 		label += "/" + ev.Stage
 	}
-	w.srv.met.stage(label, delta, ev.Samples, ev.Nodes)
+	w.srv.met.stage(label, delta, ev.Samples, ev.Nodes, ev.Backend, ev.Declined)
 }

@@ -147,6 +147,7 @@ func TestAffinityRouting(t *testing.T) {
 		"passivityd_jobs_completed_total{kind=\"check\",status=\"ok\"} 64",
 		"passivityd_stage_seconds_total{stage=\"check\"}",
 		"passivityd_worker_cache_bytes{worker=\"0\"}",
+		"passivityd_counter_declines_total",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("/metrics missing %q", want)

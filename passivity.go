@@ -2,6 +2,8 @@ package repro
 
 import (
 	"context"
+	"encoding/json"
+	"fmt"
 	"math"
 
 	"repro/internal/passivity"
@@ -14,6 +16,80 @@ type PassivityViolation struct {
 	SigmaPeak  float64
 	FreqLoHz   float64
 	FreqHiHz   float64 // +Inf for an unbounded band
+}
+
+// infFloat is a float64 whose JSON form survives IEEE infinities:
+// encoding/json refuses ±Inf outright, but an unbounded violation or
+// certificate band legitimately carries FreqHiHz = +Inf. Infinities (and
+// NaN, defensively) encode as the strings "Inf", "-Inf", "NaN"; finite
+// values stay plain numbers, so the wire format of bounded bands is
+// unchanged.
+type infFloat float64
+
+func (f infFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsInf(v, 1):
+		return []byte(`"Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	}
+	return json.Marshal(v)
+}
+
+func (f *infFloat) UnmarshalJSON(data []byte) error {
+	if len(data) > 0 && data[0] == '"' {
+		var s string
+		if err := json.Unmarshal(data, &s); err != nil {
+			return err
+		}
+		switch s {
+		case "Inf", "+Inf":
+			*f = infFloat(math.Inf(1))
+		case "-Inf":
+			*f = infFloat(math.Inf(-1))
+		case "NaN":
+			*f = infFloat(math.NaN())
+		default:
+			return fmt.Errorf("infFloat: unknown value %q", s)
+		}
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	*f = infFloat(v)
+	return nil
+}
+
+// violationWire mirrors PassivityViolation with an Inf-safe upper edge.
+type violationWire struct {
+	FreqPeakHz float64
+	SigmaPeak  float64
+	FreqLoHz   float64
+	FreqHiHz   infFloat
+}
+
+// MarshalJSON encodes the violation with an unbounded band edge
+// (FreqHiHz = +Inf) as the JSON string "Inf" — encoding/json rejects IEEE
+// infinities, and without this a report crossing the passivityd wire would
+// truncate mid-body.
+func (v PassivityViolation) MarshalJSON() ([]byte, error) {
+	return json.Marshal(violationWire{v.FreqPeakHz, v.SigmaPeak, v.FreqLoHz, infFloat(v.FreqHiHz)})
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON: it accepts both plain
+// numbers and the "Inf" string form for FreqHiHz.
+func (v *PassivityViolation) UnmarshalJSON(data []byte) error {
+	var w violationWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*v = PassivityViolation{w.FreqPeakHz, w.SigmaPeak, w.FreqLoHz, float64(w.FreqHiHz)}
+	return nil
 }
 
 // PassivityReport is the outcome of CheckPassivity.
@@ -37,7 +113,7 @@ type PassivityReport struct {
 // run: which pipeline stage ran, how many frequency intervals it certified
 // passive, the largest eigenproblem it solved (0 when it solved none), the
 // direct σ evaluations it spent and — for the terminal contour-counter
-// stage — the quadrature nodes (complex LU factorizations) it spent.
+// stage — the quadrature nodes (determinant evaluations) it spent.
 type CertificateStage struct {
 	Stage      string
 	Certified  int
@@ -45,6 +121,14 @@ type CertificateStage struct {
 	EigenDim   int
 	Samples    int
 	Nodes      int
+	// Backend names the eigenproblem kernel the stage ran (or declined) on
+	// — "structured" (diagonal-plus-low-rank, O(N·p²) per query) or "dense"
+	// (complex LU / QR, O(N³)); empty for stages with no such kernel.
+	Backend string
+	// DimGate is the stage's effective eigenproblem dimension cap; Declined
+	// counts the intervals the stage refused at that gate.
+	DimGate  int
+	Declined int
 	// Note carries non-fatal diagnostics (e.g. a quadrature that stalled).
 	Note string
 }
@@ -53,6 +137,29 @@ type CertificateStage struct {
 // (FreqHiHz is +Inf for the unbounded tail band).
 type CertificateBand struct {
 	FreqLoHz, FreqHiHz float64
+}
+
+// certBandWire mirrors CertificateBand with an Inf-safe upper edge.
+type certBandWire struct {
+	FreqLoHz float64
+	FreqHiHz infFloat
+}
+
+// MarshalJSON encodes the unbounded tail band (FreqHiHz = +Inf) as the
+// JSON string "Inf"; see PassivityViolation.MarshalJSON.
+func (b CertificateBand) MarshalJSON() ([]byte, error) {
+	return json.Marshal(certBandWire{b.FreqLoHz, infFloat(b.FreqHiHz)})
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON: it accepts both plain
+// numbers and the "Inf" string form for FreqHiHz.
+func (b *CertificateBand) UnmarshalJSON(data []byte) error {
+	var w certBandWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*b = CertificateBand{w.FreqLoHz, float64(w.FreqHiHz)}
+	return nil
 }
 
 // PassivityCertificate is the outcome of the staged certification
@@ -175,6 +282,9 @@ func toPublicCertificate(c *passivity.Certificate) *PassivityCertificate {
 			EigenDim:   s.EigenDim,
 			Samples:    s.Samples,
 			Nodes:      s.Nodes,
+			Backend:    s.Backend,
+			DimGate:    s.DimGate,
+			Declined:   s.Declined,
 			Note:       s.Note,
 		})
 	}

@@ -3,6 +3,7 @@ package repro_test
 import (
 	"bytes"
 	"encoding/json"
+	"math"
 	"math/cmplx"
 	"os"
 	"strings"
@@ -307,5 +308,46 @@ func TestEnforcePassivityBatchPerModelWeights(t *testing.T) {
 		Weights: []*repro.Weight{weight},
 	}); err == nil {
 		t.Fatal("mis-sized Weights accepted")
+	}
+}
+
+func TestReportWithUnboundedBandsSerializes(t *testing.T) {
+	// An unbounded violation band and an open certificate tail both carry
+	// FreqHiHz = +Inf, which encoding/json rejects outright — the custom
+	// band marshalers encode it as the string "Inf" so a report survives
+	// the passivityd wire (and any other JSON sink) and decodes back to
+	// the same infinity.
+	rep := &repro.PassivityReport{
+		Passive:  false,
+		MaxSigma: 42.3,
+		Violations: []repro.PassivityViolation{
+			{FreqPeakHz: 1e6, SigmaPeak: 1.01, FreqLoHz: 5e5, FreqHiHz: 2e6},
+			{FreqPeakHz: 2e9, SigmaPeak: 42.3, FreqLoHz: 1.6e9, FreqHiHz: math.Inf(1)},
+		},
+		Certificate: &repro.PassivityCertificate{
+			Stage:     "tail-bound",
+			Intervals: 3,
+			Open:      []repro.CertificateBand{{FreqLoHz: 0, FreqHiHz: math.Inf(1)}},
+		},
+	}
+	blob, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if !strings.Contains(string(blob), `"Inf"`) {
+		t.Fatalf("unbounded edges not string-encoded: %s", blob)
+	}
+	var back repro.PassivityReport
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if got := back.Violations[1].FreqHiHz; !math.IsInf(got, 1) {
+		t.Fatalf("violation hi edge round-tripped to %v, want +Inf", got)
+	}
+	if got := back.Violations[0].FreqHiHz; got != 2e6 {
+		t.Fatalf("bounded hi edge round-tripped to %v, want 2e6", got)
+	}
+	if got := back.Certificate.Open[0].FreqHiHz; !math.IsInf(got, 1) {
+		t.Fatalf("open band hi edge round-tripped to %v, want +Inf", got)
 	}
 }
