@@ -12,7 +12,6 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
-	"strconv"
 	"sync"
 	"time"
 
@@ -70,22 +69,11 @@ func retryableRemote(err error) bool {
 	return true // connection-level or torn-response failure
 }
 
-// parseRetryAfter reads a Retry-After header value: delta-seconds or an
-// HTTP date (0 when absent or unparseable).
-func parseRetryAfter(v string) time.Duration {
-	if v == "" {
-		return 0
-	}
-	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
-		return time.Duration(secs) * time.Second
-	}
-	if t, err := http.ParseTime(v); err == nil {
-		if d := time.Until(t); d > 0 {
-			return d
-		}
-	}
-	return 0
-}
+// parseRetryAfter reads a Retry-After header value — delta-seconds or an
+// HTTP-date (0 when absent or unparseable). It is the shared
+// serve.ParseRetryAfter, so the coordinator's date-form hints are honored
+// exactly like a daemon's delta-seconds.
+func parseRetryAfter(v string) time.Duration { return serve.ParseRetryAfter(v) }
 
 // backoff computes the wait before retry number attempt (1-based): the
 // daemon's Retry-After hint when it gave one, otherwise waitBase doubled

@@ -1,19 +1,23 @@
 // Command passivityd runs the passivity-enforcement service: an HTTP/JSON
 // daemon wrapping a pool of long-lived repro.Session workers with
-// pole-fingerprint cache-affinity scheduling (see internal/serve).
+// pole-fingerprint cache-affinity scheduling (see internal/serve), and —
+// with -coordinator or -join — the cluster layer that shards batches
+// across a fleet of such daemons (see internal/cluster).
 //
 // Usage:
 //
 //	passivityd [-addr :7077] [-workers N] [-queue N] [-deadline 60s]
 //	           [-parallelism N] [-cache-dir DIR] [-cache-budget MiB]
 //	           [-drain-timeout 30s]
+//	passivityd -coordinator [-addr :7077] [-lease-ttl 15s] [-max-pending N]
+//	passivityd -join URL [-name HOST] [...single-host flags]
 //
-// Endpoints:
+// Endpoints (single-host daemon and coordinator alike):
 //
 //	POST /v1/check    assess a macromodel (JSON body: {"model": ..., "check": {...}})
 //	POST /v1/enforce  enforce passivity, returning the enforced model
 //	GET  /metrics     Prometheus text-format operational metrics
-//	GET  /healthz     liveness (503 while draining)
+//	GET  /healthz     readiness (503 while loading caches or draining)
 //
 // The dispatcher hashes each submitted model's pole set and steers it to
 // the worker whose evaluation caches are already warm for that
@@ -23,12 +27,27 @@
 // a Retry-After hint. Each job runs under a deadline (its own deadline_ms
 // or -deadline) mapped to context cancellation.
 //
+// In -coordinator mode the process serves the same client surface but
+// owns no workers: jobs enter a ledger and are leased to the hosts that
+// joined with -join, placed by pole-fingerprint affinity with work
+// stealing, warm caches shipped ahead of the models. A host that
+// vanishes mid-lease loses the lease, and the item requeues onto a
+// different host from the pristine admitted model. `passcheck -remote`
+// pointed at a coordinator fans out transparently.
+//
+// In -join mode the daemon additionally runs a worker agent pulling
+// leases from the coordinator at URL; its local endpoints stay up for
+// observability.
+//
 // On SIGINT/SIGTERM the daemon drains gracefully: admission stops (503),
 // accepted jobs finish and deliver their results, worker caches are saved
 // under -cache-dir (reloaded at the next start, so the pool — and the
-// affinity placement — comes back warm), and the process exits 0. If the
-// drain outlives -drain-timeout, in-flight jobs are cancelled through
-// their contexts; a second signal kills the process immediately.
+// affinity placement — comes back warm), and the process exits 0. Until
+// that reload (and its corrupt-file quarantine scan) completes, /healthz
+// answers 503 "loading" so a fleet load balancer does not route jobs to a
+// cold-loading host. If the drain outlives -drain-timeout, in-flight jobs
+// are cancelled through their contexts; a second signal kills the process
+// immediately.
 //
 // The companion client is passcheck -remote (see cmd/passcheck).
 package main
@@ -44,6 +63,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/serve"
 )
 
@@ -58,10 +78,24 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "SIGTERM: max wait for in-flight jobs before cancelling them")
 	maxAttempts := flag.Int("max-attempts", 0, "default per-job attempts for retryable failures (0 = 3)")
 	maxRestarts := flag.Int("max-restarts", 0, "worker Session rebuilds after panics before the worker is retired (0 = 3)")
+	coordinator := flag.Bool("coordinator", false, "run the cluster coordinator instead of a worker daemon")
+	joinURL := flag.String("join", "", "coordinator URL to join as a cluster worker host")
+	name := flag.String("name", "", "cluster worker name (-join; default hostname+addr)")
+	leaseTTL := flag.Duration("lease-ttl", 15*time.Second, "coordinator: lease lifetime without a heartbeat")
+	maxPending := flag.Int("max-pending", 0, "coordinator: max admitted-but-unfinished jobs before 429 (0 = 4096)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "passivityd: unexpected arguments %v\n", flag.Args())
 		os.Exit(2)
+	}
+	if *coordinator && *joinURL != "" {
+		fmt.Fprintln(os.Stderr, "passivityd: -coordinator and -join are mutually exclusive")
+		os.Exit(2)
+	}
+
+	if *coordinator {
+		runCoordinator(*addr, *leaseTTL, *maxPending)
+		return
 	}
 
 	srv, err := serve.New(serve.Options{
@@ -78,6 +112,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "passivityd: %v\n", err)
 		os.Exit(2)
 	}
+
+	// Listen before the cache load, not after: the daemon answers
+	// /healthz with 503 "loading" until the reload and its quarantine
+	// scan finish, so the fleet sees "alive but not ready" instead of
+	// "connection refused" during a slow warm start.
+	srv.SetReady(false)
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Printf("passivityd: listening on %s (%d workers, queue %d)\n", *addr, srv.Workers(), *queue)
+
 	if *cacheDir != "" {
 		quarantined, err := srv.LoadCaches()
 		if err != nil {
@@ -89,14 +134,29 @@ func main() {
 			fmt.Fprintf(os.Stderr, "passivityd: quarantined %d corrupt cache file(s) (renamed *.corrupt); affected pole sets start cold\n", quarantined)
 		}
 	}
-
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
-	errc := make(chan error, 1)
-	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Printf("passivityd: listening on %s (%d workers, queue %d)\n", *addr, srv.Workers(), *queue)
+	srv.SetReady(true)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	var agent *cluster.Agent
+	if *joinURL != "" {
+		agentName := *name
+		if agentName == "" {
+			host, _ := os.Hostname()
+			agentName = host + *addr
+		}
+		agent, err = cluster.NewAgent(srv, cluster.AgentOptions{Coordinator: *joinURL, Name: agentName})
+		if err == nil {
+			err = agent.Start(ctx)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "passivityd: joining cluster: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("passivityd: joined cluster at %s as %q\n", *joinURL, agentName)
+	}
+
 	select {
 	case err := <-errc:
 		fmt.Fprintf(os.Stderr, "passivityd: %v\n", err)
@@ -105,6 +165,11 @@ func main() {
 	}
 	stop() // restore default handling: a second signal kills immediately
 	fmt.Fprintln(os.Stderr, "passivityd: draining (in-flight jobs finish, new ones get 503)")
+	if agent != nil {
+		// Stop pulling leases first; completions for jobs still running
+		// would be dropped anyway once the coordinator requeues them.
+		agent.Stop()
+	}
 
 	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
@@ -122,4 +187,30 @@ func main() {
 		fmt.Fprintf(os.Stderr, "passivityd: shutdown: %v\n", err)
 	}
 	fmt.Fprintln(os.Stderr, "passivityd: drained cleanly")
+}
+
+// runCoordinator serves the cluster coordinator until SIGINT/SIGTERM.
+func runCoordinator(addr string, leaseTTL time.Duration, maxPending int) {
+	c := cluster.NewCoordinator(cluster.Options{LeaseTTL: leaseTTL, MaxPending: maxPending})
+	httpSrv := &http.Server{Addr: addr, Handler: c.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Printf("passivityd: coordinating on %s (lease TTL %s)\n", addr, leaseTTL)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "passivityd: %v\n", err)
+		os.Exit(2)
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(os.Stderr, "passivityd: coordinator shutting down (unfinished jobs fail with 503)")
+	c.Close()
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	if err := httpSrv.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "passivityd: shutdown: %v\n", err)
+	}
 }

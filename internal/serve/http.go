@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	repro "repro"
@@ -157,13 +158,40 @@ func (s *Server) Handler() http.Handler {
 		s.mu.Lock()
 		draining := s.draining
 		s.mu.Unlock()
-		if draining {
+		switch {
+		case draining:
 			http.Error(w, "draining", http.StatusServiceUnavailable)
-			return
+		case !s.Ready():
+			// Not ready ≠ not alive: startup cache loading (and its
+			// quarantine scan) is still running, so a fleet LB should not
+			// route here yet — every job would start cold.
+			http.Error(w, "loading", http.StatusServiceUnavailable)
+		default:
+			fmt.Fprintln(w, "ok")
 		}
-		fmt.Fprintln(w, "ok")
 	})
 	return mux
+}
+
+// ParseRetryAfter reads a Retry-After header value in either RFC 9110
+// form — delta-seconds or an HTTP-date — returning how long the sender
+// asked the client to wait (0 when absent, unparseable, or already in
+// the past). Both passcheck's remote client and the cluster worker agent
+// feed it into their backoff, so a daemon hinting with a date is honored
+// the same as one hinting with seconds.
+func ParseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // writeJSON emits one JSON response with the given status.
@@ -225,7 +253,15 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request, kind JobKind)
 	}
 	// The worker always delivers (the channel is buffered), so waiting
 	// here cannot leak even if the client has gone away.
-	res := <-ch
+	resp, status := ResponseStatus(<-ch)
+	writeJSON(w, status, resp)
+}
+
+// ResponseStatus converts a finished job's Result into the wire Response
+// and the HTTP status it travels under — the single mapping both the
+// local HTTP handler and a cluster worker agent reporting to its
+// coordinator use, so a job fails identically whichever path served it.
+func ResponseStatus(res *Result) (Response, int) {
 	resp := Response{
 		Worker:      res.Worker,
 		AffinityHit: res.AffinityHit,
@@ -243,14 +279,13 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request, kind JobKind)
 	switch {
 	case errors.Is(res.Err, context.DeadlineExceeded):
 		resp.Error = "job deadline exceeded"
-		writeJSON(w, http.StatusGatewayTimeout, resp)
+		return resp, http.StatusGatewayTimeout
 	case errors.Is(res.Err, context.Canceled):
 		resp.Error = "job cancelled by server shutdown"
-		writeJSON(w, http.StatusServiceUnavailable, resp)
+		return resp, http.StatusServiceUnavailable
 	case res.Err != nil:
 		resp.Error = res.Err.Error()
-		writeJSON(w, http.StatusInternalServerError, resp)
-	default:
-		writeJSON(w, http.StatusOK, resp)
+		return resp, http.StatusInternalServerError
 	}
+	return resp, http.StatusOK
 }

@@ -1,0 +1,61 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestHealthzReadiness exercises the /healthz readiness protocol: a
+// loading server answers 503 "loading" (alive, not routable), flips to
+// 200 once ready, and reports "draining" during shutdown.
+func TestHealthzReadiness(t *testing.T) {
+	s, err := New(Options{Workers: 1, QueueDepth: 4, DefaultDeadline: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	get := func() (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, strings.TrimSpace(string(body))
+	}
+
+	if !s.Ready() {
+		t.Fatal("a fresh server must be born ready")
+	}
+	if code, body := get(); code != http.StatusOK || body != "ok" {
+		t.Fatalf("ready /healthz = %d %q, want 200 ok", code, body)
+	}
+
+	// Startup cache loading in progress: alive but not routable.
+	s.SetReady(false)
+	if code, body := get(); code != http.StatusServiceUnavailable || body != "loading" {
+		t.Fatalf("loading /healthz = %d %q, want 503 loading", code, body)
+	}
+	// Jobs are still accepted while loading — readiness gates routing, not
+	// admission.
+	if _, err := s.Submit(&Job{Kind: JobCheck, Model: library(t, 1, 1, 12)[0], Check: fastCheck}); err != nil {
+		t.Fatalf("submit while loading: %v", err)
+	}
+
+	s.SetReady(true)
+	if code, _ := get(); code != http.StatusOK {
+		t.Fatalf("reloaded /healthz = %d, want 200", code)
+	}
+
+	drainOrFail(t, s)
+	if code, body := get(); code != http.StatusServiceUnavailable || body != "draining" {
+		t.Fatalf("draining /healthz = %d %q, want 503 draining", code, body)
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"math/rand"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -231,6 +232,11 @@ type Server struct {
 	deadWorkers int
 	rng         *rand.Rand
 
+	// notReady inverts the /healthz readiness signal (see SetReady); the
+	// zero value keeps a freshly built server ready, matching embedded
+	// uses that never load caches.
+	notReady atomic.Bool
+
 	wg sync.WaitGroup
 
 	// runHook, when set by tests, runs at the start of every job with the
@@ -310,6 +316,102 @@ func (s *Server) newWorkerSession(w *worker) *repro.Session {
 
 // Workers returns the size of the worker pool.
 func (s *Server) Workers() int { return len(s.workers) }
+
+// SetReady flips the readiness the /healthz endpoint reports. A server is
+// born ready; a daemon that loads persisted caches at startup marks
+// itself unready first and ready once the load (and its quarantine scan)
+// completes, so a fleet load balancer never routes to a cold-loading
+// worker. Liveness is unaffected — the server accepts jobs either way.
+func (s *Server) SetReady(ready bool) { s.notReady.Store(!ready) }
+
+// Ready reports the readiness state SetReady controls (true unless
+// marked otherwise).
+func (s *Server) Ready() bool { return !s.notReady.Load() }
+
+// ErrNoCache reports that no live worker Session holds a cache for the
+// requested fingerprint.
+var ErrNoCache = errors.New("serve: no cache for fingerprint")
+
+// CacheFingerprints returns the union of the live workers' resident
+// cache fingerprints, sorted — the server's warm-state catalog, which a
+// cluster worker agent advertises to its coordinator so placement can
+// follow the caches.
+func (s *Server) CacheFingerprints() []uint64 {
+	seen := make(map[uint64]bool)
+	for _, w := range s.liveSessions() {
+		for _, fp := range w.CacheFingerprints() {
+			seen[fp] = true
+		}
+	}
+	fps := make([]uint64, 0, len(seen))
+	for fp := range seen {
+		fps = append(fps, fp)
+	}
+	sort.Slice(fps, func(a, b int) bool { return fps[a] < fps[b] })
+	return fps
+}
+
+// liveSessions snapshots the live workers' Sessions under the dispatcher
+// lock (supervision swaps a panicked worker's Session there).
+func (s *Server) liveSessions() []*repro.Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*repro.Session, 0, len(s.workers))
+	for _, w := range s.workers {
+		if !w.dead.Load() {
+			out = append(out, w.sess)
+		}
+	}
+	return out
+}
+
+// ExportCache serializes the evaluation cache one of the live workers
+// holds for fp, in the checksummed Session cache format (see
+// repro.Session.ExportCache). ErrNoCache when nobody holds it — or the
+// holder has it checked out by a running job; warm-state shippers treat
+// that as "send nothing".
+func (s *Server) ExportCache(fp uint64) ([]byte, error) {
+	for _, sess := range s.liveSessions() {
+		if !sess.HasCache(fp) {
+			continue
+		}
+		blob, err := sess.ExportCache(fp)
+		if errors.Is(err, repro.ErrCacheUnavailable) {
+			continue
+		}
+		return blob, err
+	}
+	return nil, ErrNoCache
+}
+
+// ImportCache validates a serialized evaluation cache and installs it
+// into the worker the dispatcher would route the fingerprint to, then
+// records that placement — so the jobs the cache was shipped ahead of
+// land on the worker that now holds it. A corrupt blob is rejected whole;
+// no session state changes.
+func (s *Server) ImportCache(blob []byte) (uint64, error) {
+	fp, err := repro.CacheBlobFingerprint(blob)
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	w, _ := s.routeLocked(fp)
+	var sess *repro.Session
+	if w != nil {
+		sess = w.sess
+	}
+	s.mu.Unlock()
+	if sess == nil {
+		return 0, ErrNoWorkers
+	}
+	if _, err := sess.ImportCache(blob); err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	s.affinity[fp] = w.id
+	s.mu.Unlock()
+	return fp, nil
+}
 
 // workerCacheDir is the per-worker cache subdirectory (stable across
 // restarts as long as the worker count is).

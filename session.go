@@ -778,19 +778,126 @@ func (s *Session) loadCacheFile(path string) error {
 	if err != nil {
 		return err
 	}
+	e, err := parseSessionCacheBlob(blob)
+	if err != nil {
+		return err
+	}
+	s.installCacheEntry(e)
+	return nil
+}
+
+// CacheBlobFingerprint validates a serialized evaluation cache — the
+// bytes of a SaveCache file or an ExportCache blob — and returns the
+// pole-set fingerprint it belongs to. The whole blob is verified (magic,
+// version, CRC-64 footer, fingerprint consistency) before anything is
+// trusted, so transports and content-addressed stores can use it as the
+// admission check that quarantines corrupt cache transfers.
+func CacheBlobFingerprint(blob []byte) (uint64, error) {
+	e, err := parseSessionCacheBlob(blob)
+	if err != nil {
+		return 0, err
+	}
+	return e.poleFP, nil
+}
+
+// ExportCache serializes the session's resident evaluation cache for the
+// given pole-set fingerprint in the same versioned, CRC-64-checksummed
+// format SaveCache writes to disk, so the blob can travel over a wire and
+// be installed elsewhere with ImportCache. It fails with
+// ErrCacheUnavailable when the session holds no cache for fp or the cache
+// is checked out by a concurrently running operation.
+func (s *Session) ExportCache(fp uint64) ([]byte, error) {
+	s.mu.Lock()
+	e, ok := s.caches[fp]
+	if !ok || e.busy {
+		s.mu.Unlock()
+		return nil, ErrCacheUnavailable
+	}
+	e.busy = true // pin against concurrent checkout during the write
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		e.busy = false
+		s.mu.Unlock()
+	}()
+	var buf bytes.Buffer
+	if err := writeSessionCache(&buf, e); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// ErrCacheUnavailable reports that ExportCache found no resident, idle
+// evaluation cache for the requested fingerprint — the session never saw
+// the pole set, the LRU budget evicted it, or a running operation has it
+// checked out. Callers shipping warm state treat it as "send nothing":
+// the receiver simply starts cold.
+var ErrCacheUnavailable = errors.New("repro: evaluation cache unavailable")
+
+// ImportCache installs a serialized evaluation cache (an ExportCache blob
+// or the bytes of a SaveCache file) into the session, returning the
+// pole-set fingerprint it now answers HasCache for. The blob is fully
+// validated first — magic, version, CRC-64 footer, fingerprint
+// consistency — and a corrupt one is rejected without touching the
+// session, so a torn transfer costs one cold pole set, never a poisoned
+// cache. A fingerprint already resident is kept (the live cache is at
+// least as warm); the session byte budget applies as usual.
+func (s *Session) ImportCache(blob []byte) (uint64, error) {
+	e, err := parseSessionCacheBlob(blob)
+	if err != nil {
+		return 0, err
+	}
+	s.installCacheEntry(e)
+	return e.poleFP, nil
+}
+
+// CacheFingerprints returns the pole-set fingerprints of every resident
+// evaluation cache, sorted, checked out or not. Schedulers advertise the
+// list as the session's warm-state catalog (see HasCache for the
+// single-fingerprint probe).
+func (s *Session) CacheFingerprints() []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fps := make([]uint64, 0, len(s.caches))
+	for fp := range s.caches {
+		fps = append(fps, fp)
+	}
+	sort.Slice(fps, func(a, b int) bool { return fps[a] < fps[b] })
+	return fps
+}
+
+// installCacheEntry adds a parsed cache entry to the pool under the
+// budget, keeping an already-resident cache for the same fingerprint.
+func (s *Session) installCacheEntry(e *sessionCache) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.caches[e.poleFP]; exists {
+		return // live cache wins
+	}
+	s.caches[e.poleFP] = e
+	s.used += e.bytes
+	s.touchLocked(e)
+	s.evictLocked()
+}
+
+// parseSessionCacheBlob decodes and fully validates one serialized cache
+// (the SaveCache file format): magic, version, whole-blob CRC-64 footer,
+// then the payload, with the pole fingerprint cross-checked against the
+// poles actually read.
+func parseSessionCacheBlob(blob []byte) (*sessionCache, error) {
 	const headBytes, footBytes = 4 * 8, 8
 	if len(blob) < headBytes+footBytes {
-		return fmt.Errorf("truncated cache file (%d bytes)", len(blob))
+		return nil, fmt.Errorf("truncated cache file (%d bytes)", len(blob))
 	}
 	var head [4]uint64
 	for i := range head {
 		head[i] = binary.LittleEndian.Uint64(blob[i*8:])
 	}
 	if head[0]>>32 != sessionCacheMagic {
-		return fmt.Errorf("bad magic %#x", head[0]>>32)
+		return nil, fmt.Errorf("bad magic %#x", head[0]>>32)
 	}
 	if v := head[0] & 0xffffffff; v != sessionCacheVersion {
-		return fmt.Errorf("unsupported version %d", v)
+		return nil, fmt.Errorf("unsupported version %d", v)
 	}
 	// The footer CRC covers every byte before it; verify before parsing
 	// anything, so corruption is one deterministic error instead of
@@ -798,25 +905,25 @@ func (s *Session) loadCacheFile(path string) error {
 	body := blob[:len(blob)-footBytes]
 	want := binary.LittleEndian.Uint64(blob[len(blob)-footBytes:])
 	if got := crc64.Checksum(body, sessionCacheCRC); got != want {
-		return fmt.Errorf("checksum mismatch (file %016x, computed %016x)", want, got)
+		return nil, fmt.Errorf("checksum mismatch (file %016x, computed %016x)", want, got)
 	}
 	r := bytes.NewReader(body[headBytes:])
 	nPoles := head[3]
 	if nPoles > 1<<20 {
-		return fmt.Errorf("implausible pole count %d", nPoles)
+		return nil, fmt.Errorf("implausible pole count %d", nPoles)
 	}
 	poles := make([]complex128, nPoles)
 	if err := binary.Read(r, binary.LittleEndian, poles); err != nil {
-		return err
+		return nil, err
 	}
 	if fp := poleFingerprint(poles); fp != head[1] {
-		return fmt.Errorf("pole fingerprint mismatch (file %016x, poles %016x)", head[1], fp)
+		return nil, fmt.Errorf("pole fingerprint mismatch (file %016x, poles %016x)", head[1], fp)
 	}
 	cache, err := passivity.LoadEvalCache(r)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	e := &sessionCache{
+	return &sessionCache{
 		cache:  cache,
 		poles:  poles,
 		poleFP: head[1],
@@ -824,15 +931,5 @@ func (s *Session) loadCacheFile(path string) error {
 		bytes:  cacheBytes(cache, len(poles)),
 		basisN: cache.BasisEntries(),
 		sigmaN: cache.SigmaEntries() + cache.StashedSigmaEntries(),
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, exists := s.caches[e.poleFP]; exists {
-		return nil // live cache wins
-	}
-	s.caches[e.poleFP] = e
-	s.used += e.bytes
-	s.touchLocked(e)
-	s.evictLocked()
-	return nil
+	}, nil
 }
